@@ -1,0 +1,29 @@
+"""Fig. 1 benchmark — accuracy distribution of the whole repository on one task.
+
+Times the ground-truth evaluation of a single checkpoint on the Fig. 1 task
+(the unit of work the figure is built from) and prints the full sorted
+accuracy series for both modalities.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import fig1_distribution
+
+
+def test_fig1_distribution(nlp_context, cv_context, benchmark):
+    model = nlp_context.hub.get(nlp_context.hub.model_names[0])
+    task = nlp_context.suite.task("mnli")
+
+    def fine_tune_one_model():
+        return nlp_context.fine_tuner.fine_tune(
+            model, task, epochs=nlp_context.offline_epochs
+        ).final_test
+
+    benchmark(fine_tune_one_model)
+
+    for context in (nlp_context, cv_context):
+        result = fig1_distribution.run(context)
+        emit(f"Fig. 1 ({context.modality})", fig1_distribution.render(result))
+        assert result["accuracy_spread"] > 0.05

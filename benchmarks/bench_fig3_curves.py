@@ -1,0 +1,22 @@
+"""Fig. 3 / Fig. 8 benchmark — validation curves of the top-10 recalled models."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import fig3_validation_curves
+
+
+def test_fig3_validation_curves(nlp_context, benchmark):
+    result = benchmark.pedantic(
+        fig3_validation_curves.run,
+        args=(nlp_context,),
+        kwargs={"target_name": "mnli", "top_k": 10},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 3 / Fig. 8 (NLP)", fig3_validation_curves.render(result))
+    # Early validation accuracy should be informative of the final ordering
+    # under the default hyper-parameters (the paper's early-stopping premise).
+    default_setting = result["settings"]["default"]
+    assert default_setting["early_vs_final_spearman"] > 0.0

@@ -1,0 +1,20 @@
+"""Fig. 4 benchmark — convergence-trend grouping of one model's benchmark curves."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import fig4_convergence_groups
+
+
+def test_fig4_convergence_groups(nlp_context, cv_context, benchmark):
+    result = benchmark(fig4_convergence_groups.run, nlp_context)
+    assert 1 <= result["num_trends"] <= 4
+
+    for context in (nlp_context, cv_context):
+        block = fig4_convergence_groups.run(context)
+        emit(f"Fig. 4 ({context.modality})", fig4_convergence_groups.render(block))
+        trends = block["trends"]
+        # Trends are ordered by validation accuracy; their mean final test
+        # accuracy should broadly follow the same ordering.
+        assert trends == sorted(trends, key=lambda t: t["mean_val"])

@@ -1,0 +1,25 @@
+"""Fig. 6 benchmark — convergence-trend clustering quality."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import fig6_trend_quality
+
+
+def test_fig6_trend_quality(nlp_context, cv_context, benchmark):
+    # Time the per-model unit of work: mining + leave-one-out evaluation for
+    # a single checkpoint.
+    one_model = [nlp_context.hub.model_names[0]]
+    benchmark(
+        lambda: fig6_trend_quality.run(nlp_context, model_names=one_model)
+    )
+
+    for context in (nlp_context, cv_context):
+        records = fig6_trend_quality.run(context)
+        summary = fig6_trend_quality.summarize(records)
+        emit(f"Fig. 6 ({context.modality})", fig6_trend_quality.render(records))
+        # Shape checks from the paper: validation-based clustering beats
+        # random clustering, and trend-based prediction beats the global mean.
+        assert summary["mean_validation_silhouette"] > summary["mean_random_silhouette"]
+        assert summary["mean_trend_prediction_error"] <= summary["mean_global_mean_error"] * 1.05

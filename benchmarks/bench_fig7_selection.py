@@ -1,0 +1,36 @@
+"""Fig. 7 benchmark — selected-model accuracy, SH vs FS."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import fig7_selection_quality
+
+
+def test_fig7_selection_quality(nlp_context, cv_context, benchmark):
+    result = benchmark.pedantic(
+        fig7_selection_quality.run,
+        args=(nlp_context,),
+        kwargs={"targets": ("mnli",), "include_full_repository": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert result[0]["fs_accuracy"] > 0
+
+    all_records = []
+    for context in (nlp_context, cv_context):
+        records = fig7_selection_quality.run(context)
+        all_records.extend(records)
+        # Shape check: on average fine-selection matches or beats successive
+        # halving, and both stay within the best/worst bounds of the top-10.
+        fs = np.mean([r["fs_accuracy"] for r in records])
+        sh = np.mean([r["sh_accuracy"] for r in records])
+        assert fs >= sh - 0.02
+        for record in records:
+            # The top-10 best/worst bounds only apply to the recalled pool;
+            # the full-repository pool may select a model outside the top-10.
+            # A small tolerance absorbs fine-tuning run-to-run variance.
+            if record["pool"].startswith("top"):
+                assert record["fs_accuracy"] <= record["best_in_top10"] + 0.03
+    emit("Fig. 7", fig7_selection_quality.render(all_records))

@@ -1,0 +1,38 @@
+"""Table I benchmark — clustering-method comparison.
+
+Times one hierarchical clustering of the NLP repository from its performance
+matrix (the operation Table I compares across methods/similarities) and
+prints the full table for both modalities.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.config import ClusteringConfig
+from repro.core.model_clustering import ModelClusterer
+from repro.experiments import table1_clustering_methods
+
+
+def test_table1_clustering_methods(nlp_context, cv_context, contexts, benchmark):
+    matrix = nlp_context.matrix
+    cards = nlp_context.hub.model_cards()
+
+    def cluster_once():
+        return ModelClusterer(ClusteringConfig()).cluster(matrix, model_cards=cards)
+
+    clustering = benchmark(cluster_once)
+    assert clustering.assignment.num_clusters >= 2
+
+    records = table1_clustering_methods.run(contexts)
+    emit("Table I", table1_clustering_methods.render(records))
+
+    # Shape check: performance-based similarity beats the text baseline under
+    # hierarchical clustering for both modalities.
+    for modality in ("nlp", "cv"):
+        silhouettes = {
+            (r["similarity"], r["method"]): r["silhouette"]
+            for r in records
+            if r["modality"] == modality
+        }
+        assert silhouettes[("performance", "hierarchical")] >= silhouettes[("text", "hierarchical")]

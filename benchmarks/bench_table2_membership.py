@@ -1,0 +1,23 @@
+"""Table II benchmark — non-singleton cluster membership listing."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import table2_cluster_membership
+
+
+def test_table2_cluster_membership(nlp_context, cv_context, benchmark):
+    records = benchmark(table2_cluster_membership.run, nlp_context)
+    assert records, "NLP clustering should produce non-singleton clusters"
+
+    for context in (nlp_context, cv_context):
+        rows = table2_cluster_membership.run(context)
+        summary = table2_cluster_membership.run_summary(context)
+        emit(
+            f"Table II ({context.modality})",
+            table2_cluster_membership.render(rows)
+            + f"\nsummary: {summary}",
+        )
+        # Most models should land in non-singleton clusters, as in the paper.
+        assert summary["num_models_in_non_singleton"] >= summary["num_models"] * 0.5

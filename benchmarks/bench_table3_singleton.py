@@ -1,0 +1,25 @@
+"""Table III benchmark — singleton vs non-singleton cluster performance."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import table3_singleton_vs_non
+
+
+def test_table3_singleton_vs_non(nlp_context, cv_context, benchmark):
+    records = benchmark(table3_singleton_vs_non.run, nlp_context)
+    assert len(records) == 2
+
+    all_records = []
+    for context in (nlp_context, cv_context):
+        rows = table3_singleton_vs_non.run(context)
+        all_records.extend(rows)
+        by_type = {row["cluster_type"]: row for row in rows}
+        # Shape check: the strong checkpoints concentrate in non-singleton
+        # clusters (they hold the majority of per-dataset best models).
+        assert (
+            by_type["non-singleton"]["num_best_models"]
+            >= by_type["singleton"]["num_best_models"]
+        )
+    emit("Table III", table3_singleton_vs_non.render(all_records))

@@ -1,0 +1,33 @@
+"""Table IV benchmark — fine-selection filtering-threshold sweep."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import table4_threshold
+
+
+def test_table4_threshold(nlp_context, cv_context, benchmark):
+    result = benchmark.pedantic(
+        table4_threshold.run,
+        args=(nlp_context,),
+        kwargs={"targets": ("mnli",), "thresholds": (0.0,)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result[0]["runtime_epochs"] > 0
+
+    all_records = []
+    for context in (nlp_context, cv_context):
+        records = table4_threshold.run(context)
+        all_records.extend(records)
+        # Shape check: raising the threshold never lowers accuracy and never
+        # lowers runtime (it keeps borderline models alive longer).
+        by_target = {}
+        for record in records:
+            by_target.setdefault(record["target"], []).append(record)
+        for rows in by_target.values():
+            rows.sort(key=lambda r: float(r["threshold"].rstrip("%")))
+            runtimes = [r["runtime_epochs"] for r in rows]
+            assert runtimes == sorted(runtimes)
+    emit("Table IV", table4_threshold.render(all_records))

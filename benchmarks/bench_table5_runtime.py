@@ -1,0 +1,32 @@
+"""Table V benchmark — selection runtime (epochs) and speedups vs brute force."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import table5_runtime
+
+
+def test_table5_runtime(nlp_context, cv_context, benchmark):
+    result = benchmark.pedantic(
+        table5_runtime.run,
+        args=(nlp_context,),
+        kwargs={"targets": ("mnli",), "include_full_repository": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert {r["method"] for r in result} == {"BF", "SH", "FS"}
+
+    all_records = []
+    for context in (nlp_context, cv_context):
+        records = table5_runtime.run(context)
+        all_records.extend(records)
+        # Shape check per (target, pool): FS <= SH <= BF in runtime.
+        grouped = {}
+        for record in records:
+            grouped.setdefault((record["target"], record["pool"]), {})[record["method"]] = record
+        for methods in grouped.values():
+            assert methods["FS"]["runtime_epochs"] <= methods["SH"]["runtime_epochs"]
+            assert methods["SH"]["runtime_epochs"] <= methods["BF"]["runtime_epochs"]
+            assert methods["FS"]["speedup_vs_bf"] >= 2.0
+    emit("Table V", table5_runtime.render(all_records))

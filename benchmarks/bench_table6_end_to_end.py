@@ -1,0 +1,27 @@
+"""Table VI benchmark — end-to-end two-phase pipeline vs BF and SH."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import table6_end_to_end
+
+
+def test_table6_end_to_end(nlp_context, cv_context, benchmark):
+    # Time one full online two-phase query (coarse recall + fine selection).
+    benchmark.pedantic(
+        lambda: nlp_context.selector.select("mnli"), rounds=2, iterations=1
+    )
+
+    all_records = []
+    for context in (nlp_context, cv_context):
+        records = table6_end_to_end.run(context)
+        all_records.extend(records)
+        # Shape checks mirroring the paper: the two-phase pipeline is several
+        # times cheaper than SH and BF while losing little accuracy.
+        assert np.mean([r["speedup_vs_bf"] for r in records]) >= 3.0
+        assert np.mean([r["speedup_vs_sh"] for r in records]) >= 1.5
+        gap = np.mean([r["acc_bf"] - r["acc_2ph"] for r in records])
+        assert gap <= 0.05
+    emit("Table VI", table6_end_to_end.render(all_records))

@@ -1,0 +1,24 @@
+"""Table X (appendix D) benchmark — Eq. 1 top-k parameter sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import tablex_topk_parameter
+
+
+def test_tablex_topk_parameter(nlp_context, cv_context, benchmark):
+    records = benchmark(tablex_topk_parameter.run, nlp_context)
+    assert len(records) == 3
+
+    all_records = []
+    for context in (nlp_context, cv_context):
+        rows = tablex_topk_parameter.run(context)
+        all_records.extend(rows)
+        silhouettes = [r["silhouette"] for r in rows]
+        # Shape check: the parameter has limited influence — the silhouette
+        # fluctuates within a bounded range rather than collapsing.
+        assert max(silhouettes) - min(silhouettes) < 0.5
+        assert all(np.isfinite(s) for s in silhouettes)
+    emit("Table X (appendix D)", tablex_topk_parameter.render(all_records))

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+The offline artifacts (model hub, performance matrix, clustering, target
+ground truth) are built once per session and shared by every benchmark so
+that each ``bench_*`` file only times the online computation it reproduces.
+
+Scale is controlled by ``REPRO_EXPERIMENT_SCALE`` (``full`` by default,
+``small`` for a quick pass).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import get_context
+
+
+@pytest.fixture(scope="session")
+def nlp_context():
+    """Experiment context for the 40-model NLP repository."""
+    context = get_context("nlp")
+    # Force the expensive artifacts up front so they are excluded from timings.
+    context.matrix
+    context.clustering
+    return context
+
+
+@pytest.fixture(scope="session")
+def cv_context():
+    """Experiment context for the 30-model CV repository."""
+    context = get_context("cv")
+    context.matrix
+    context.clustering
+    return context
+
+
+@pytest.fixture(scope="session")
+def contexts(nlp_context, cv_context):
+    """Both modality contexts keyed by modality name."""
+    return {"nlp": nlp_context, "cv": cv_context}
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered experiment block (visible with ``pytest -s``)."""
+    print(f"\n{'=' * 80}\n{title}\n{'=' * 80}\n{text}\n")

@@ -1,0 +1,104 @@
+"""Extending the framework: plug a custom proxy score into the coarse-recall phase.
+
+The paper uses LEEP as the lightweight proxy task and notes (future work)
+that other proxy scores can be combined.  The coarse-recall phase resolves
+its scorer through a registry, so adding a new transferability measure is a
+matter of subclassing :class:`repro.metrics.ProxyScorer` and registering it.
+
+This example registers a simple centroid-separation scorer, then compares
+the recall quality (average ground-truth accuracy of the recalled models) of
+LEEP, NCE, LogME, kNN and the custom scorer on one NLP target.
+
+Run with::
+
+    python examples/custom_proxy_score.py [--small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import CoarseRecall, PipelineConfig
+from repro.core.config import RecallConfig
+from repro.core.model_clustering import ModelClusterer
+from repro.core.performance import build_performance_matrix
+from repro.data import DataScale, nlp_suite
+from repro.metrics import ProxyScorer, register_scorer
+from repro.zoo import FineTuner, ModelHub
+
+
+class CentroidSeparationScorer(ProxyScorer):
+    """Ratio of between-class centroid spread to within-class spread.
+
+    A crude Fisher-style criterion on the frozen representation: features
+    whose class centroids are far apart relative to the in-class scatter
+    should fine-tune well.
+    """
+
+    name = "centroid"
+    uses_source_posterior = False
+
+    def score_arrays(self, inputs: np.ndarray, labels: np.ndarray, *, num_classes: int) -> float:
+        centroids = np.stack(
+            [inputs[labels == cls].mean(axis=0) for cls in np.unique(labels)]
+        )
+        between = float(np.mean(np.linalg.norm(centroids - centroids.mean(axis=0), axis=1)))
+        within = float(
+            np.mean(
+                [
+                    np.linalg.norm(inputs[labels == cls] - centroid, axis=1).mean()
+                    for cls, centroid in zip(np.unique(labels), centroids)
+                ]
+            )
+        )
+        return between / max(within, 1e-9)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="use the small data scale")
+    parser.add_argument("--target", default="boolq")
+    parser.add_argument("--top-k", type=int, default=10)
+    args = parser.parse_args()
+
+    register_scorer("centroid", CentroidSeparationScorer, overwrite=True)
+
+    scale = DataScale.small() if args.small else DataScale.default()
+    suite = nlp_suite(seed=0, scale=scale)
+    hub = ModelHub(suite, seed=0)
+    tuner = FineTuner(seed=0)
+    task = suite.task(args.target)
+
+    print("[offline] performance matrix + clustering")
+    matrix = build_performance_matrix(hub, suite, fine_tuner=tuner, epochs=5)
+    clustering = ModelClusterer(PipelineConfig.for_modality("nlp").clustering).cluster(
+        matrix, model_cards=hub.model_cards()
+    )
+
+    print("[reference] ground-truth accuracy of every checkpoint on the target")
+    truth = {
+        model.name: tuner.fine_tune(model, task, epochs=5).final_test
+        for model in hub.models()
+    }
+
+    print(f"\nrecall quality on {args.target} (top-{args.top_k}):")
+    print(f"{'proxy score':12s} {'avg acc of recalled':>20s} {'best model recalled':>20s}")
+    for proxy_name in ("leep", "nce", "logme", "knn", "centroid"):
+        recall = CoarseRecall(
+            hub,
+            matrix,
+            clustering,
+            config=RecallConfig(proxy_score=proxy_name, top_k=args.top_k),
+        ).recall(task)
+        recalled = recall.recalled_models
+        avg_acc = float(np.mean([truth[name] for name in recalled]))
+        best_model = max(truth, key=truth.get)
+        print(f"{proxy_name:12s} {avg_acc:20.3f} {str(best_model in recalled):>20s}")
+    print(f"\nrepository average accuracy: {float(np.mean(list(truth.values()))):.3f}")
+    print(f"best checkpoint: {max(truth, key=truth.get)} ({max(truth.values()):.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs the full experiment harness (:mod:`repro.experiments.runner`) for both
+the NLP and CV repositories and prints the rendered tables.  Use ``--small``
+for a quick pass (smaller datasets) or ``--only`` to run a subset, e.g.::
+
+    python examples/reproduce_paper.py --only table6 fig5
+    python examples/reproduce_paper.py --small
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.runner import EXPERIMENTS, render_report, run_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="use the small data scale")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(EXPERIMENTS),
+        help="run only these experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--modalities",
+        nargs="*",
+        default=["nlp", "cv"],
+        choices=["nlp", "cv"],
+        help="which repositories to evaluate",
+    )
+    parser.add_argument("--output", help="optional path to also write the report to")
+    args = parser.parse_args()
+
+    start = time.perf_counter()
+    outputs = run_all(
+        scale="small" if args.small else "full",
+        only=args.only,
+        modalities=tuple(args.modalities),
+    )
+    report = render_report(outputs)
+    print(report)
+    print(f"\n[reproduce_paper] finished in {time.perf_counter() - start:.1f}s")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"[reproduce_paper] report written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

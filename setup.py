@@ -1,0 +1,36 @@
+"""Setuptools entry point.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517/660 editable installs (which build a wheel) are unavailable; project
+metadata therefore lives here so ``pip install -e .`` can use the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Two-phase recall-and-select framework for fast pre-trained model "
+        "selection (ICDE 2024 reproduction)"
+    ),
+    long_description=open("README.md", encoding="utf-8").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    author="Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "dev": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+        ],
+    },
+)

@@ -1,0 +1,67 @@
+"""repro — reproduction of the two-phase recall-and-select model-selection framework.
+
+The package reproduces *"A Two-Phase Recall-and-Select Framework for Fast
+Model Selection"* (ICDE 2024) end to end on a simulated, laptop-scale model
+zoo:
+
+* :mod:`repro.data` — synthetic benchmark/target task suites,
+* :mod:`repro.zoo` — the simulated pre-trained checkpoint hub and the
+  fine-tuning engine,
+* :mod:`repro.metrics` — LEEP and other transferability proxy scores,
+* :mod:`repro.cluster` / :mod:`repro.text` — clustering and text-embedding
+  substrates,
+* :mod:`repro.core` — the two-phase framework itself (performance matrix,
+  model clustering, coarse-recall, convergence-trend mining, fine-selection,
+  baselines, end-to-end pipeline),
+* :mod:`repro.experiments` — harnesses regenerating every table and figure
+  of the paper's evaluation section.
+
+Quickstart::
+
+    from repro.data import nlp_suite
+    from repro.zoo import ModelHub
+    from repro.core import TwoPhaseSelector
+
+    suite = nlp_suite(seed=0)
+    hub = ModelHub(suite, seed=0)
+    selector = TwoPhaseSelector.from_hub(hub, suite)
+    result = selector.select("mnli")
+    print(result.selected_model, result.selected_accuracy, result.total_cost)
+"""
+
+from repro.core import (
+    BruteForceSelection,
+    CoarseRecall,
+    FineSelection,
+    OfflineArtifacts,
+    PerformanceMatrix,
+    PipelineConfig,
+    SuccessiveHalving,
+    TwoPhaseResult,
+    TwoPhaseSelector,
+    build_performance_matrix,
+)
+from repro.data import DataScale, WorkloadSuite, cv_suite, nlp_suite
+from repro.zoo import FineTuner, ModelHub
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BruteForceSelection",
+    "CoarseRecall",
+    "FineSelection",
+    "OfflineArtifacts",
+    "PerformanceMatrix",
+    "PipelineConfig",
+    "SuccessiveHalving",
+    "TwoPhaseResult",
+    "TwoPhaseSelector",
+    "build_performance_matrix",
+    "DataScale",
+    "WorkloadSuite",
+    "cv_suite",
+    "nlp_suite",
+    "FineTuner",
+    "ModelHub",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Clustering substrate used by model clustering and convergence-trend mining.
+
+The paper compares K-means against agglomerative hierarchical clustering
+(average linkage) and evaluates cluster quality with the silhouette
+coefficient.  Both algorithms, the silhouette metric, and the distance
+helpers they share are implemented here from scratch on numpy so the
+reproduction carries no external ML dependencies.
+"""
+
+from repro.cluster.distance import pairwise_distances, similarity_to_distance
+from repro.cluster.hierarchical import AgglomerativeClustering, hierarchical_cluster
+from repro.cluster.kmeans import KMeans, kmeans_cluster
+from repro.cluster.silhouette import silhouette_samples, silhouette_score
+from repro.cluster.assignments import ClusterAssignment
+
+__all__ = [
+    "pairwise_distances",
+    "similarity_to_distance",
+    "AgglomerativeClustering",
+    "hierarchical_cluster",
+    "KMeans",
+    "kmeans_cluster",
+    "silhouette_samples",
+    "silhouette_score",
+    "ClusterAssignment",
+]

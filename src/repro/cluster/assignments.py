@@ -1,0 +1,77 @@
+"""Cluster-assignment container shared by k-means and hierarchical clustering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import DataError
+
+
+@dataclass
+class ClusterAssignment:
+    """Result of a clustering run over named items.
+
+    Attributes
+    ----------
+    item_names:
+        Names of the clustered items, aligned with ``labels``.
+    labels:
+        Integer cluster id per item (0-based, contiguous).
+    """
+
+    item_names: List[str]
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=int)
+        if self.labels.ndim != 1 or len(self.item_names) != self.labels.shape[0]:
+            raise DataError("item_names and labels must be aligned 1-d sequences")
+        if self.labels.size and self.labels.min() < 0:
+            raise DataError("cluster labels must be non-negative")
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of distinct clusters."""
+        return int(len(set(self.labels.tolist())))
+
+    def members(self, cluster_id: int) -> List[str]:
+        """Item names belonging to ``cluster_id``."""
+        return [name for name, label in zip(self.item_names, self.labels) if label == cluster_id]
+
+    def cluster_of(self, item_name: str) -> int:
+        """Cluster id of ``item_name``."""
+        try:
+            index = self.item_names.index(item_name)
+        except ValueError:
+            raise DataError(f"unknown item {item_name!r}") from None
+        return int(self.labels[index])
+
+    def as_dict(self) -> Dict[int, List[str]]:
+        """Mapping cluster id -> member names."""
+        out: Dict[int, List[str]] = {}
+        for name, label in zip(self.item_names, self.labels):
+            out.setdefault(int(label), []).append(name)
+        return out
+
+    def non_singleton_clusters(self) -> Dict[int, List[str]]:
+        """Clusters with more than one member (the paper's |C| > 1 clusters)."""
+        return {cid: members for cid, members in self.as_dict().items() if len(members) > 1}
+
+    def singleton_items(self) -> List[str]:
+        """Items that ended up alone in their cluster."""
+        return [
+            members[0]
+            for members in self.as_dict().values()
+            if len(members) == 1
+        ]
+
+    @classmethod
+    def from_labels(cls, item_names: Sequence[str], labels: Sequence[int]) -> "ClusterAssignment":
+        """Build an assignment, re-indexing labels to be contiguous from 0."""
+        raw = np.asarray(list(labels), dtype=int)
+        unique = {label: index for index, label in enumerate(sorted(set(raw.tolist())))}
+        remapped = np.array([unique[label] for label in raw.tolist()], dtype=int)
+        return cls(item_names=list(item_names), labels=remapped)

@@ -1,0 +1,66 @@
+"""Distance helpers shared by the clustering algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import DataError
+
+
+def pairwise_distances(points: np.ndarray, *, metric: str = "euclidean") -> np.ndarray:
+    """Symmetric ``(n, n)`` distance matrix of the rows of ``points``.
+
+    Supported metrics: ``euclidean``, ``sqeuclidean``, ``cosine`` and
+    ``cityblock``.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise DataError(f"points must be 2-d, got shape {points.shape}")
+    n = points.shape[0]
+    if metric in ("euclidean", "sqeuclidean"):
+        norms = np.sum(points**2, axis=1)
+        squared = norms[:, None] + norms[None, :] - 2.0 * points @ points.T
+        squared = np.clip(squared, 0.0, None)
+        matrix = squared if metric == "sqeuclidean" else np.sqrt(squared)
+    elif metric == "cosine":
+        norms = np.linalg.norm(points, axis=1)
+        norms = np.where(norms == 0, 1.0, norms)
+        normalised = points / norms[:, None]
+        matrix = 1.0 - normalised @ normalised.T
+        matrix = np.clip(matrix, 0.0, 2.0)
+    elif metric == "cityblock":
+        matrix = np.abs(points[:, None, :] - points[None, :, :]).sum(axis=2)
+    else:
+        raise DataError(f"unknown distance metric {metric!r}")
+    np.fill_diagonal(matrix, 0.0)
+    # Enforce exact symmetry against floating-point drift.
+    return (matrix + matrix.T) / 2.0
+
+
+def similarity_to_distance(similarity: np.ndarray) -> np.ndarray:
+    """Convert a similarity matrix in ``[0, 1]`` to a distance matrix.
+
+    The paper's Eq. 1 produces similarities; the clustering algorithms work
+    on distances ``d = 1 - s`` with a zero diagonal.
+    """
+    sim = np.asarray(similarity, dtype=float)
+    if sim.ndim != 2 or sim.shape[0] != sim.shape[1]:
+        raise DataError(f"similarity must be a square matrix, got shape {sim.shape}")
+    distance = 1.0 - sim
+    distance = np.clip(distance, 0.0, None)
+    np.fill_diagonal(distance, 0.0)
+    return (distance + distance.T) / 2.0
+
+
+def check_distance_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Validate a precomputed distance matrix (square, symmetric, zero diagonal)."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise DataError(f"distance matrix must be square, got shape {arr.shape}")
+    if np.any(arr < -1e-9):
+        raise DataError("distance matrix contains negative entries")
+    if not np.allclose(arr, arr.T, atol=1e-8):
+        raise DataError("distance matrix must be symmetric")
+    if not np.allclose(np.diag(arr), 0.0, atol=1e-8):
+        raise DataError("distance matrix must have a zero diagonal")
+    return arr

@@ -1,0 +1,132 @@
+"""Agglomerative hierarchical clustering on a precomputed distance matrix.
+
+The paper's preferred model-clustering algorithm is hierarchical clustering
+with the performance-based similarity of Eq. 1.  This implementation supports
+average, single and complete linkage and two stopping rules: a fixed number
+of clusters or a distance threshold (merging stops once the closest pair of
+clusters is farther apart than the threshold) — the latter is what produces
+the paper's mix of non-singleton and singleton clusters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.distance import check_distance_matrix
+from repro.utils.exceptions import ConfigurationError, DataError
+
+
+class AgglomerativeClustering:
+    """Bottom-up clustering over a precomputed distance matrix.
+
+    Parameters
+    ----------
+    num_clusters:
+        Stop when this many clusters remain (mutually exclusive with
+        ``distance_threshold`` being the active stopping rule; if both are
+        given, merging stops when either rule triggers).
+    distance_threshold:
+        Stop merging once the closest pair of clusters exceeds this linkage
+        distance.
+    linkage:
+        ``"average"`` (paper default), ``"single"`` or ``"complete"``.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_clusters: Optional[int] = None,
+        distance_threshold: Optional[float] = None,
+        linkage: str = "average",
+    ) -> None:
+        if num_clusters is None and distance_threshold is None:
+            raise ConfigurationError(
+                "one of num_clusters or distance_threshold must be given"
+            )
+        if num_clusters is not None and num_clusters < 1:
+            raise ConfigurationError("num_clusters must be >= 1")
+        if distance_threshold is not None and distance_threshold < 0:
+            raise ConfigurationError("distance_threshold must be >= 0")
+        if linkage not in ("average", "single", "complete"):
+            raise ConfigurationError(f"unknown linkage {linkage!r}")
+        self.num_clusters = num_clusters
+        self.distance_threshold = distance_threshold
+        self.linkage = linkage
+        self.merge_history_: List[tuple] = []
+
+    # ------------------------------------------------------------------ #
+    def fit_predict(self, distance_matrix: np.ndarray) -> np.ndarray:
+        """Cluster items given their pairwise distances; returns labels."""
+        distances = check_distance_matrix(distance_matrix)
+        n = distances.shape[0]
+        if n == 0:
+            raise DataError("cannot cluster zero items")
+        target_clusters = self.num_clusters if self.num_clusters is not None else 1
+        clusters: List[List[int]] = [[i] for i in range(n)]
+        # Working linkage-distance matrix between current clusters.
+        linkage_distances = distances.copy().astype(float)
+        np.fill_diagonal(linkage_distances, np.inf)
+        active = list(range(n))
+        self.merge_history_ = []
+
+        while len(active) > max(target_clusters, 1):
+            sub = linkage_distances[np.ix_(active, active)]
+            flat_index = int(np.argmin(sub))
+            row, col = divmod(flat_index, len(active))
+            if row == col:
+                break
+            best_distance = float(sub[row, col])
+            if self.distance_threshold is not None and best_distance > self.distance_threshold:
+                break
+            first, second = active[row], active[col]
+            self.merge_history_.append((first, second, best_distance))
+            merged_members = clusters[first] + clusters[second]
+            clusters[first] = merged_members
+            clusters[second] = []
+            # Update linkage distances of the merged cluster to all others.
+            for other in active:
+                if other in (first, second):
+                    continue
+                linkage_distances[first, other] = linkage_distances[other, first] = (
+                    self._linkage_distance(distances, merged_members, clusters[other])
+                )
+            linkage_distances[second, :] = np.inf
+            linkage_distances[:, second] = np.inf
+            active.remove(second)
+
+        labels = np.empty(n, dtype=int)
+        for new_id, cluster_index in enumerate(sorted(active)):
+            for member in clusters[cluster_index]:
+                labels[member] = new_id
+        return labels
+
+    def _linkage_distance(
+        self, distances: np.ndarray, members_a: List[int], members_b: List[int]
+    ) -> float:
+        block = distances[np.ix_(members_a, members_b)]
+        if self.linkage == "average":
+            return float(block.mean())
+        if self.linkage == "single":
+            return float(block.min())
+        return float(block.max())
+
+
+def hierarchical_cluster(
+    item_names: Sequence[str],
+    distance_matrix: np.ndarray,
+    *,
+    num_clusters: Optional[int] = None,
+    distance_threshold: Optional[float] = None,
+    linkage: str = "average",
+) -> ClusterAssignment:
+    """Convenience wrapper returning a :class:`ClusterAssignment`."""
+    algorithm = AgglomerativeClustering(
+        num_clusters=num_clusters,
+        distance_threshold=distance_threshold,
+        linkage=linkage,
+    )
+    labels = algorithm.fit_predict(distance_matrix)
+    return ClusterAssignment.from_labels(item_names, labels)

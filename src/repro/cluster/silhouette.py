@@ -1,0 +1,52 @@
+"""Silhouette coefficient (Rousseeuw, 1987) on a precomputed distance matrix.
+
+Used by the paper to compare clustering configurations (Table I, Table X) and
+to validate convergence-trend clustering (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.distance import check_distance_matrix
+from repro.utils.exceptions import DataError
+
+
+def silhouette_samples(distance_matrix: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-sample silhouette values ``(b - a) / max(a, b)``.
+
+    Samples in singleton clusters get a silhouette of 0, following the
+    scikit-learn convention.
+    """
+    distances = check_distance_matrix(distance_matrix)
+    labels = np.asarray(labels, dtype=int)
+    n = distances.shape[0]
+    if labels.shape != (n,):
+        raise DataError("labels must align with the distance matrix")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise DataError("silhouette requires at least two clusters")
+
+    values = np.zeros(n)
+    for i in range(n):
+        own = labels[i]
+        own_mask = labels == own
+        own_size = int(own_mask.sum())
+        if own_size <= 1:
+            values[i] = 0.0
+            continue
+        intra = distances[i, own_mask].sum() / (own_size - 1)
+        inter = np.inf
+        for other in unique:
+            if other == own:
+                continue
+            other_mask = labels == other
+            inter = min(inter, float(distances[i, other_mask].mean()))
+        denominator = max(intra, inter)
+        values[i] = 0.0 if denominator == 0 else (inter - intra) / denominator
+    return values
+
+
+def silhouette_score(distance_matrix: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette value over all samples."""
+    return float(np.mean(silhouette_samples(distance_matrix, labels)))

@@ -1,0 +1,76 @@
+"""Core two-phase recall-and-select framework (the paper's contribution).
+
+The public API follows the paper's structure:
+
+* **Offline** — :func:`~repro.core.performance.build_performance_matrix`
+  fine-tunes every hub checkpoint on the benchmark datasets and records the
+  :class:`~repro.core.performance.PerformanceMatrix` (final accuracies plus
+  full convergence processes);
+  :class:`~repro.core.model_clustering.ModelClusterer` groups checkpoints by
+  the Eq. 1 performance similarity.
+* **Coarse-recall** — :class:`~repro.core.recall.CoarseRecall` computes the
+  per-cluster proxy score on the target dataset and the Eq. 2–4 recall
+  scores, returning the top-K candidate checkpoints.
+* **Fine-selection** — :class:`~repro.core.selection.FineSelection`
+  (Algorithm 1) fine-tunes the recalled checkpoints with successive halving
+  accelerated by convergence-trend prediction
+  (:mod:`repro.core.convergence`); plain
+  :class:`~repro.core.selection.SuccessiveHalving` and
+  :class:`~repro.core.selection.BruteForceSelection` are the baselines.
+* **End-to-end** — :class:`~repro.core.pipeline.TwoPhaseSelector` wires both
+  phases behind one ``select(target)`` call.
+"""
+
+from repro.core.config import (
+    ClusteringConfig,
+    FineSelectionConfig,
+    PipelineConfig,
+    RecallConfig,
+)
+from repro.core.convergence import (
+    ConvergenceTrend,
+    ConvergenceTrendMiner,
+    TrendSet,
+)
+from repro.core.model_clustering import ModelClusterer, ModelClustering
+from repro.core.performance import PerformanceMatrix, build_performance_matrix
+from repro.core.pipeline import OfflineArtifacts, TwoPhaseSelector
+from repro.core.recall import CoarseRecall, RandomRecall
+from repro.core.results import RecallResult, SelectionResult, TwoPhaseResult
+from repro.core.selection import (
+    BruteForceSelection,
+    FineSelection,
+    SuccessiveHalving,
+)
+from repro.core.similarity import (
+    performance_similarity,
+    performance_similarity_matrix,
+    text_similarity_matrix,
+)
+
+__all__ = [
+    "ClusteringConfig",
+    "FineSelectionConfig",
+    "PipelineConfig",
+    "RecallConfig",
+    "ConvergenceTrend",
+    "ConvergenceTrendMiner",
+    "TrendSet",
+    "ModelClusterer",
+    "ModelClustering",
+    "PerformanceMatrix",
+    "build_performance_matrix",
+    "OfflineArtifacts",
+    "TwoPhaseSelector",
+    "CoarseRecall",
+    "RandomRecall",
+    "RecallResult",
+    "SelectionResult",
+    "TwoPhaseResult",
+    "BruteForceSelection",
+    "FineSelection",
+    "SuccessiveHalving",
+    "performance_similarity",
+    "performance_similarity_matrix",
+    "text_similarity_matrix",
+]

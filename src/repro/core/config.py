@@ -1,0 +1,152 @@
+"""Configuration objects of the two-phase selection framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Model-clustering settings (offline phase).
+
+    Attributes
+    ----------
+    method:
+        ``"hierarchical"`` (paper default) or ``"kmeans"``.
+    similarity:
+        ``"performance"`` (Eq. 1) or ``"text"`` (model-card baseline).
+    top_k:
+        Number of largest per-dataset accuracy differences averaged by the
+        Eq. 1 similarity (the paper's Appendix D parameter, k = 5).
+    distance_threshold:
+        Hierarchical clustering stops merging above this linkage distance;
+        this is what yields a mix of non-singleton and singleton clusters.
+        When left ``None`` the threshold is derived from the distance
+        distribution via ``threshold_quantile``.
+    threshold_quantile:
+        Quantile of the off-diagonal pairwise distances used as the merge
+        threshold when ``distance_threshold`` is not given explicitly.
+    num_clusters:
+        Alternative stopping rule (required for k-means).
+    """
+
+    method: str = "hierarchical"
+    similarity: str = "performance"
+    top_k: int = 5
+    distance_threshold: Optional[float] = None
+    threshold_quantile: float = 0.2
+    num_clusters: Optional[int] = None
+    linkage: str = "average"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("hierarchical", "kmeans"):
+            raise ConfigurationError(f"unknown clustering method {self.method!r}")
+        if self.similarity not in ("performance", "text"):
+            raise ConfigurationError(f"unknown similarity {self.similarity!r}")
+        if self.top_k < 1:
+            raise ConfigurationError("top_k must be >= 1")
+        if self.method == "kmeans" and self.num_clusters is None:
+            raise ConfigurationError("kmeans clustering requires num_clusters")
+        if not 0.0 < self.threshold_quantile < 1.0:
+            raise ConfigurationError("threshold_quantile must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class RecallConfig:
+    """Coarse-recall settings (first online phase).
+
+    Attributes
+    ----------
+    proxy_score:
+        Registered proxy-scorer name (``"leep"`` in the paper).
+    top_k:
+        Number of models returned to the fine-selection phase (10 in the
+        paper's end-to-end experiments).
+    max_proxy_samples:
+        Cap on target samples used when computing the proxy score.
+    proxy_epoch_cost:
+        Epoch-equivalent cost charged per proxy-score computation
+        (0.5 in the paper: inference without back-propagation).
+    """
+
+    proxy_score: str = "leep"
+    top_k: int = 10
+    max_proxy_samples: Optional[int] = 256
+    proxy_epoch_cost: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ConfigurationError("top_k must be >= 1")
+        if self.max_proxy_samples is not None and self.max_proxy_samples < 1:
+            raise ConfigurationError("max_proxy_samples must be >= 1 when given")
+        if self.proxy_epoch_cost < 0:
+            raise ConfigurationError("proxy_epoch_cost must be >= 0")
+
+
+@dataclass(frozen=True)
+class FineSelectionConfig:
+    """Fine-selection settings (second online phase, Algorithm 1).
+
+    Attributes
+    ----------
+    total_epochs:
+        Full fine-tuning budget per model (5 for NLP, 4 for CV in the
+        paper).
+    validation_interval:
+        Epochs trained between successive filtering stages (``s``).
+    threshold:
+        Minimum predicted-performance margin before a model with worse
+        validation accuracy is filtered by the convergence-trend rule
+        (Table IV sweeps 0 / 1 / 5 / 10 %).
+    num_trends:
+        Number of convergence-trend clusters mined per model.
+    use_trend_filter:
+        Disabling this turns Algorithm 1 back into plain successive halving
+        (used by ablation benches).
+    """
+
+    total_epochs: int = 5
+    validation_interval: int = 1
+    threshold: float = 0.0
+    num_trends: int = 4
+    use_trend_filter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_epochs < 1:
+            raise ConfigurationError("total_epochs must be >= 1")
+        if self.validation_interval < 1:
+            raise ConfigurationError("validation_interval must be >= 1")
+        if self.validation_interval > self.total_epochs:
+            raise ConfigurationError(
+                "validation_interval cannot exceed total_epochs"
+            )
+        if self.threshold < 0:
+            raise ConfigurationError("threshold must be >= 0")
+        if self.num_trends < 1:
+            raise ConfigurationError("num_trends must be >= 1")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end two-phase pipeline configuration."""
+
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    recall: RecallConfig = field(default_factory=RecallConfig)
+    fine_selection: FineSelectionConfig = field(default_factory=FineSelectionConfig)
+    offline_epochs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.offline_epochs is not None and self.offline_epochs < 1:
+            raise ConfigurationError("offline_epochs must be >= 1 when given")
+
+    @classmethod
+    def for_modality(cls, modality: str, **overrides) -> "PipelineConfig":
+        """Paper defaults: 5 offline/online epochs for NLP, 4 for CV."""
+        epochs = 5 if modality == "nlp" else 4
+        fine_selection = overrides.pop(
+            "fine_selection", FineSelectionConfig(total_epochs=epochs)
+        )
+        return cls(fine_selection=fine_selection, offline_epochs=epochs, **overrides)

@@ -1,0 +1,140 @@
+"""End-to-end two-phase selector.
+
+:class:`OfflineArtifacts` packages everything the online phases need and is
+built once per model repository (the paper's offline phase): the performance
+matrix and the model clustering.  :class:`TwoPhaseSelector` then answers
+``select(target_task)`` queries by running coarse-recall followed by
+fine-selection, returning a :class:`~repro.core.results.TwoPhaseResult` whose
+cost accounting matches the paper's Table VI (proxy inference charged at half
+an epoch per scored cluster plus the fine-tuning epochs actually spent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.config import PipelineConfig
+from repro.core.model_clustering import ModelClusterer, ModelClustering
+from repro.core.performance import PerformanceMatrix, build_performance_matrix
+from repro.core.recall import CoarseRecall
+from repro.core.results import TwoPhaseResult
+from repro.core.selection import FineSelection
+from repro.data.tasks import ClassificationTask
+from repro.data.workloads import WorkloadSuite
+from repro.utils.exceptions import SelectionError
+from repro.zoo.finetune import FineTuner
+from repro.zoo.hub import ModelHub
+
+
+@dataclass
+class OfflineArtifacts:
+    """Offline products shared by every online query against one repository."""
+
+    hub: ModelHub
+    suite: WorkloadSuite
+    matrix: PerformanceMatrix
+    clustering: ModelClustering
+    config: PipelineConfig
+
+    @classmethod
+    def build(
+        cls,
+        hub: ModelHub,
+        suite: Optional[WorkloadSuite] = None,
+        *,
+        config: Optional[PipelineConfig] = None,
+        fine_tuner: Optional[FineTuner] = None,
+    ) -> "OfflineArtifacts":
+        """Run the offline phase: performance matrix + model clustering."""
+        suite = suite or hub.suite
+        config = config or PipelineConfig.for_modality(hub.modality)
+        matrix = build_performance_matrix(
+            hub,
+            suite,
+            fine_tuner=fine_tuner,
+            epochs=config.offline_epochs,
+        )
+        clusterer = ModelClusterer(config.clustering)
+        clustering = clusterer.cluster(matrix, model_cards=hub.model_cards())
+        return cls(hub=hub, suite=suite, matrix=matrix, clustering=clustering, config=config)
+
+
+class TwoPhaseSelector:
+    """The paper's complete coarse-recall + fine-selection pipeline."""
+
+    def __init__(
+        self,
+        artifacts: OfflineArtifacts,
+        *,
+        fine_tuner: Optional[FineTuner] = None,
+        seed: int = 0,
+    ) -> None:
+        self.artifacts = artifacts
+        self.fine_tuner = fine_tuner or FineTuner(seed=seed)
+        config = artifacts.config
+        self._recall = CoarseRecall(
+            artifacts.hub,
+            artifacts.matrix,
+            artifacts.clustering,
+            config=config.recall,
+        )
+        self._fine_selection = FineSelection(
+            artifacts.hub,
+            artifacts.matrix,
+            self.fine_tuner,
+            config=config.fine_selection,
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_hub(
+        cls,
+        hub: ModelHub,
+        suite: Optional[WorkloadSuite] = None,
+        *,
+        config: Optional[PipelineConfig] = None,
+        fine_tuner: Optional[FineTuner] = None,
+        seed: int = 0,
+    ) -> "TwoPhaseSelector":
+        """Build the offline artifacts and wrap them in a selector."""
+        artifacts = OfflineArtifacts.build(hub, suite, config=config, fine_tuner=fine_tuner)
+        return cls(artifacts, fine_tuner=fine_tuner, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    def _resolve_task(self, target: Union[str, ClassificationTask]) -> ClassificationTask:
+        if isinstance(target, ClassificationTask):
+            return target
+        suite = self.artifacts.suite
+        if target not in suite.dataset_names:
+            raise SelectionError(
+                f"unknown target dataset {target!r}; known: {suite.dataset_names}"
+            )
+        return suite.task(target)
+
+    def select(
+        self,
+        target: Union[str, ClassificationTask],
+        *,
+        top_k: Optional[int] = None,
+    ) -> TwoPhaseResult:
+        """Select the best checkpoint for ``target`` with the two-phase method."""
+        task = self._resolve_task(target)
+        recall_result = self._recall.recall(task, top_k=top_k)
+        selection_result = self._fine_selection.run(recall_result.recalled_models, task)
+        selection_result.extra_epoch_cost = recall_result.epoch_cost
+        return TwoPhaseResult(
+            target_name=task.name,
+            recall=recall_result,
+            selection=selection_result,
+        )
+
+    def recall_only(
+        self, target: Union[str, ClassificationTask], *, top_k: Optional[int] = None
+    ):
+        """Run only the coarse-recall phase (used by Fig. 5 and Table VII)."""
+        return self._recall.recall(self._resolve_task(target), top_k=top_k)
+
+    def cluster_summary(self) -> Dict[str, float]:
+        """Summary statistics of the offline model clustering."""
+        return self.artifacts.clustering.summary()

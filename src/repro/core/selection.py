@@ -1,0 +1,312 @@
+"""Selection algorithms: brute force, successive halving, and fine-selection.
+
+All three algorithms share the same contract: given a candidate model list
+and a target task, fine-tune (subsets of) the candidates and return a
+:class:`~repro.core.results.SelectionResult` whose ``runtime_epochs`` counts
+every fine-tuning epoch spent — the cost unit of the paper's Tables V/VI.
+
+* :class:`BruteForceSelection` fine-tunes every candidate for the full
+  budget and keeps the best validation performer.
+* :class:`SuccessiveHalving` trains every surviving candidate for one
+  validation interval per stage and discards the worse half at each stage.
+* :class:`FineSelection` (Algorithm 1) additionally predicts each survivor's
+  final accuracy from its benchmark convergence trends and drops candidates
+  whose predicted ceiling is below a better-validating competitor's by more
+  than a threshold — allowing it to cut more than half per stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import FineSelectionConfig
+from repro.core.convergence import ConvergenceTrendMiner
+from repro.core.performance import PerformanceMatrix
+from repro.core.results import SelectionResult, StageRecord
+from repro.data.tasks import ClassificationTask
+from repro.utils.exceptions import SelectionError
+from repro.zoo.finetune import FineTuneSession, FineTuner
+from repro.zoo.hub import ModelHub
+
+
+class _SelectionBase:
+    """Shared plumbing: session management and epoch accounting."""
+
+    method = "base"
+
+    def __init__(
+        self,
+        hub: ModelHub,
+        fine_tuner: Optional[FineTuner] = None,
+        *,
+        config: Optional[FineSelectionConfig] = None,
+    ) -> None:
+        self.hub = hub
+        self.fine_tuner = fine_tuner or FineTuner(seed=0)
+        self.config = config or FineSelectionConfig()
+
+    # ------------------------------------------------------------------ #
+    def _check_candidates(self, candidates: Sequence[str]) -> List[str]:
+        names = list(candidates)
+        if not names:
+            raise SelectionError("candidate list must not be empty")
+        unknown = [name for name in names if name not in self.hub]
+        if unknown:
+            raise SelectionError(f"unknown candidate model(s): {unknown[:3]}")
+        return names
+
+    def _start_sessions(
+        self, candidates: Sequence[str], task: ClassificationTask
+    ) -> Dict[str, FineTuneSession]:
+        return {
+            name: self.fine_tuner.start_session(self.hub.get(name), task)
+            for name in candidates
+        }
+
+    @staticmethod
+    def _result_from_sessions(
+        *,
+        method: str,
+        task: ClassificationTask,
+        sessions: Dict[str, FineTuneSession],
+        winner: str,
+        runtime_epochs: float,
+        num_candidates: int,
+        stages: List[StageRecord],
+    ) -> SelectionResult:
+        final_accuracies = {
+            name: session.curve.final_test
+            for name, session in sessions.items()
+            if session.epochs_trained > 0
+        }
+        winner_session = sessions[winner]
+        return SelectionResult(
+            method=method,
+            target_name=task.name,
+            selected_model=winner,
+            selected_accuracy=winner_session.curve.final_test,
+            selected_val_accuracy=winner_session.curve.final_val,
+            runtime_epochs=float(runtime_epochs),
+            num_candidates=num_candidates,
+            stages=stages,
+            final_accuracies=final_accuracies,
+        )
+
+
+class BruteForceSelection(_SelectionBase):
+    """Fine-tune every candidate for the full budget; keep the best validator."""
+
+    method = "brute_force"
+
+    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
+        """Select among ``candidates`` on ``task`` by exhaustive fine-tuning."""
+        names = self._check_candidates(candidates)
+        sessions = self._start_sessions(names, task)
+        total_epochs = self.config.total_epochs
+        runtime = 0
+        for name in names:
+            sessions[name].train_epochs(total_epochs)
+            runtime += total_epochs
+        validations = {name: sessions[name].curve.final_val for name in names}
+        winner = max(names, key=lambda name: (validations[name], -names.index(name)))
+        stage = StageRecord(
+            stage=0,
+            surviving_models=[winner],
+            validation_accuracy=validations,
+        )
+        return self._result_from_sessions(
+            method=self.method,
+            task=task,
+            sessions=sessions,
+            winner=winner,
+            runtime_epochs=runtime,
+            num_candidates=len(names),
+            stages=[stage],
+        )
+
+
+class SuccessiveHalving(_SelectionBase):
+    """Classic successive halving over fine-tuning epochs (the SH baseline)."""
+
+    method = "successive_halving"
+
+    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
+        """Select among ``candidates`` on ``task`` by successive halving."""
+        names = self._check_candidates(candidates)
+        sessions = self._start_sessions(names, task)
+        interval = self.config.validation_interval
+        num_stages = self.config.total_epochs // interval
+        surviving = list(names)
+        runtime = 0
+        stages: List[StageRecord] = []
+        for stage_index in range(num_stages):
+            for name in surviving:
+                sessions[name].train_epochs(interval)
+                runtime += interval
+            validations = {
+                name: sessions[name].validation_accuracy() for name in surviving
+            }
+            removed: List[str] = []
+            if len(surviving) > 1:
+                keep = max(1, len(surviving) // 2)
+                ordered = sorted(surviving, key=lambda name: -validations[name])
+                removed = ordered[keep:]
+                surviving = ordered[:keep]
+            stages.append(
+                StageRecord(
+                    stage=stage_index,
+                    surviving_models=list(surviving),
+                    validation_accuracy=validations,
+                    removed_by_halving=removed,
+                )
+            )
+        winner = surviving[0]
+        return self._result_from_sessions(
+            method=self.method,
+            task=task,
+            sessions=sessions,
+            winner=winner,
+            runtime_epochs=runtime,
+            num_candidates=len(names),
+            stages=stages,
+        )
+
+
+class FineSelection(_SelectionBase):
+    """Algorithm 1: successive halving accelerated by convergence-trend prediction."""
+
+    method = "fine_selection"
+
+    def __init__(
+        self,
+        hub: ModelHub,
+        matrix: PerformanceMatrix,
+        fine_tuner: Optional[FineTuner] = None,
+        *,
+        config: Optional[FineSelectionConfig] = None,
+        trend_miner: Optional[ConvergenceTrendMiner] = None,
+    ) -> None:
+        super().__init__(hub, fine_tuner, config=config)
+        self.matrix = matrix
+        self.trend_miner = trend_miner or ConvergenceTrendMiner(
+            num_trends=self.config.num_trends
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
+        """Select among ``candidates`` on ``task`` with Algorithm 1."""
+        names = self._check_candidates(candidates)
+        sessions = self._start_sessions(names, task)
+        interval = self.config.validation_interval
+        num_stages = self.config.total_epochs // interval
+        surviving = list(names)
+        runtime = 0
+        stages: List[StageRecord] = []
+        for stage_index in range(num_stages):
+            for name in surviving:
+                sessions[name].train_epochs(interval)
+                runtime += interval
+            validations = {
+                name: sessions[name].validation_accuracy() for name in surviving
+            }
+            predicted: Dict[str, float] = {}
+            removed_by_trend: List[str] = []
+            removed_by_halving: List[str] = []
+            if len(surviving) > 1:
+                stage_number = (stage_index + 1) * interval
+                if self.config.use_trend_filter:
+                    predicted = self._predict_final_accuracies(
+                        surviving, validations, stage_number
+                    )
+                    surviving, removed_by_trend = self._trend_filter(
+                        surviving, validations, predicted
+                    )
+                surviving, removed_by_halving = self._halve(
+                    surviving, validations, original_count=len(validations)
+                )
+            stages.append(
+                StageRecord(
+                    stage=stage_index,
+                    surviving_models=list(surviving),
+                    validation_accuracy=validations,
+                    predicted_accuracy=predicted,
+                    removed_by_trend=removed_by_trend,
+                    removed_by_halving=removed_by_halving,
+                )
+            )
+        winner = surviving[0]
+        return self._result_from_sessions(
+            method=self.method,
+            task=task,
+            sessions=sessions,
+            winner=winner,
+            runtime_epochs=runtime,
+            num_candidates=len(names),
+            stages=stages,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _predict_final_accuracies(
+        self,
+        surviving: Sequence[str],
+        validations: Dict[str, float],
+        stage_number: int,
+    ) -> Dict[str, float]:
+        """Eq. 5/6 prediction for every surviving candidate."""
+        predictions: Dict[str, float] = {}
+        for name in surviving:
+            curves = self.matrix.curves_for_model(name)
+            if not curves:
+                # No offline convergence information (e.g. reduced matrix):
+                # fall back to the current validation accuracy.
+                predictions[name] = validations[name]
+                continue
+            trend_set = self.trend_miner.mine(name, curves, stage=stage_number)
+            predictions[name] = trend_set.predict(validations[name])
+        return predictions
+
+    def _trend_filter(
+        self,
+        surviving: Sequence[str],
+        validations: Dict[str, float],
+        predicted: Dict[str, float],
+    ) -> tuple[List[str], List[str]]:
+        """Remove candidates dominated in both validation and predicted accuracy.
+
+        Starting from the worst validator, a candidate is removed when some
+        remaining candidate has strictly better validation accuracy *and* a
+        predicted final accuracy that is better by more than the configured
+        relative threshold.
+        """
+        threshold = self.config.threshold
+        kept = list(surviving)
+        removed: List[str] = []
+        for name in sorted(surviving, key=lambda n: validations[n]):
+            if len(kept) <= 1:
+                break
+            others = [other for other in kept if other != name]
+            dominated = any(
+                validations[other] > validations[name]
+                and (predicted[other] - predicted[name]) > threshold * max(predicted[name], 1e-12)
+                for other in others
+            )
+            if dominated:
+                kept.remove(name)
+                removed.append(name)
+        return kept, removed
+
+    @staticmethod
+    def _halve(
+        surviving: Sequence[str],
+        validations: Dict[str, float],
+        *,
+        original_count: int,
+    ) -> tuple[List[str], List[str]]:
+        """Guarantee at least half of the stage's starting pool is dropped."""
+        keep_limit = max(1, original_count // 2)
+        ordered = sorted(surviving, key=lambda name: -validations[name])
+        kept = ordered[:keep_limit]
+        removed = ordered[keep_limit:]
+        return kept, removed

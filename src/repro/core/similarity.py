@@ -1,0 +1,98 @@
+"""Model-similarity measures used for model clustering.
+
+The paper's Eq. 1 defines the performance-based similarity between two
+checkpoints as one minus the average of their ``k`` largest per-dataset
+accuracy differences:
+
+``sim(m_a, m_b) = 1 - avg( top_k |vec(m_a) - vec(m_b)| )``
+
+The text-based baseline (Table I) instead embeds each checkpoint's model
+card and uses cosine similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.performance import PerformanceMatrix
+from repro.text.embedding import TextEmbedder
+from repro.utils.exceptions import ConfigurationError, DataError
+
+
+def performance_similarity(
+    vector_a: np.ndarray, vector_b: np.ndarray, *, top_k: int = 5
+) -> float:
+    """Eq. 1 similarity between two benchmark-accuracy vectors."""
+    a = np.asarray(vector_a, dtype=float)
+    b = np.asarray(vector_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise DataError("performance vectors must be 1-d and aligned")
+    if a.size == 0:
+        raise DataError("performance vectors must be non-empty")
+    if top_k < 1:
+        raise ConfigurationError("top_k must be >= 1")
+    differences = np.abs(a - b)
+    k = min(top_k, differences.size)
+    largest = np.sort(differences)[-k:]
+    return float(1.0 - np.mean(largest))
+
+
+def performance_similarity_matrix(
+    matrix: PerformanceMatrix, *, top_k: int = 5
+) -> np.ndarray:
+    """Pairwise Eq. 1 similarities of every model in ``matrix``."""
+    vectors = [matrix.model_vector(name) for name in matrix.model_names]
+    n = len(vectors)
+    similarity = np.ones((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            similarity[i, j] = similarity[j, i] = performance_similarity(
+                vectors[i], vectors[j], top_k=top_k
+            )
+    return similarity
+
+
+def text_similarity_matrix(model_cards: Dict[str, str]) -> np.ndarray:
+    """Pairwise cosine similarity of model-card TF-IDF embeddings.
+
+    The row/column order follows the insertion order of ``model_cards``
+    (callers should pass an ordered mapping aligned with their model list).
+    """
+    if not model_cards:
+        raise DataError("model_cards must not be empty")
+    embedder = TextEmbedder().fit(model_cards)
+    similarity = embedder.similarity_matrix()
+    # Cosine similarity of TF-IDF vectors is non-negative; clip defensively
+    # and force an exact unit diagonal for distance conversion downstream.
+    similarity = np.clip(similarity, 0.0, 1.0)
+    np.fill_diagonal(similarity, 1.0)
+    return similarity
+
+
+def similarity_matrix_for(
+    matrix: PerformanceMatrix,
+    *,
+    method: str = "performance",
+    top_k: int = 5,
+    model_cards: Dict[str, str] | None = None,
+) -> np.ndarray:
+    """Dispatch between the performance-based and text-based similarities."""
+    if method == "performance":
+        return performance_similarity_matrix(matrix, top_k=top_k)
+    if method == "text":
+        if model_cards is None:
+            raise ConfigurationError("text similarity requires model_cards")
+        ordered = {name: model_cards[name] for name in matrix.model_names}
+        return text_similarity_matrix(ordered)
+    raise ConfigurationError(f"unknown similarity method {method!r}")
+
+
+def pairwise_model_similarity(
+    matrix: PerformanceMatrix, model_a: str, model_b: str, *, top_k: int = 5
+) -> float:
+    """Eq. 1 similarity between two named models."""
+    return performance_similarity(
+        matrix.model_vector(model_a), matrix.model_vector(model_b), top_k=top_k
+    )

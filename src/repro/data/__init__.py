@@ -1,0 +1,42 @@
+"""Synthetic classification tasks standing in for the paper's datasets.
+
+The paper evaluates on GLUE/SuperGLUE-style NLP datasets and ImageNet-style
+CV datasets pulled from HuggingFace.  This substrate generates classification
+tasks positioned in a latent *domain space*: each task owns a domain vector
+describing which latent concepts carry its class signal.  Transferability of
+a pre-trained model to a task then depends on how well the model's encoder
+covers those concepts, which is exactly the structure the selection
+framework exploits.
+
+Public API:
+
+* :class:`~repro.data.domain.DomainSpace` — latent concept geometry.
+* :class:`~repro.data.tasks.TaskSpec` / :class:`~repro.data.tasks.ClassificationTask`
+  — task description and materialised train/val/test splits.
+* :class:`~repro.data.workloads.WorkloadSuite` — the paper's benchmark and
+  target dataset suites for NLP and CV.
+"""
+
+from repro.data.domain import DomainSpace
+from repro.data.splits import DataSplit
+from repro.data.tasks import ClassificationTask, TaskSpec, generate_task
+from repro.data.workloads import (
+    DataScale,
+    WorkloadSuite,
+    cv_suite,
+    nlp_suite,
+    suite_for_modality,
+)
+
+__all__ = [
+    "DomainSpace",
+    "DataSplit",
+    "ClassificationTask",
+    "TaskSpec",
+    "generate_task",
+    "DataScale",
+    "WorkloadSuite",
+    "cv_suite",
+    "nlp_suite",
+    "suite_for_modality",
+]

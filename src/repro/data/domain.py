@@ -1,0 +1,126 @@
+"""Latent domain space shared by tasks and pre-trained models.
+
+A :class:`DomainSpace` owns an orthonormal *concept basis*: ``num_concepts``
+directions in the ambient feature space.  Every task places its
+class-discriminative signal inside the subspace spanned by the concepts it
+weights; every pre-trained model amplifies the concepts it was (synthetically)
+pre-trained on.  Transfer quality between a model and a task is therefore a
+function of the overlap of their concept weights, which is the property the
+paper's framework relies on (models with similar training histories behave
+similarly on new tasks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+class DomainSpace:
+    """Orthonormal concept basis for one modality (NLP or CV).
+
+    Parameters
+    ----------
+    feature_dim:
+        Dimensionality of raw input features (the "token/pixel embedding"
+        stand-in).
+    num_concepts:
+        Number of latent concepts; must not exceed ``feature_dim``.
+    modality:
+        Free-form tag (``"nlp"`` or ``"cv"``) used for reproducible seeding
+        and for sanity checks when pairing models with tasks.
+    rng:
+        Seed or generator for the basis construction.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int = 32,
+        num_concepts: int = 16,
+        *,
+        modality: str = "nlp",
+        rng=None,
+    ) -> None:
+        if num_concepts > feature_dim:
+            raise ConfigurationError(
+                f"num_concepts ({num_concepts}) cannot exceed feature_dim ({feature_dim})"
+            )
+        if num_concepts < 2:
+            raise ConfigurationError("num_concepts must be at least 2")
+        self.feature_dim = int(feature_dim)
+        self.num_concepts = int(num_concepts)
+        self.modality = str(modality)
+        generator = as_generator(rng)
+        random_matrix = generator.normal(size=(feature_dim, feature_dim))
+        q, _ = np.linalg.qr(random_matrix)
+        # Rows are orthonormal concept directions in feature space.
+        self.basis = q[:num_concepts, :]
+
+    # ------------------------------------------------------------------ #
+    def project(self, features: np.ndarray) -> np.ndarray:
+        """Project raw features onto concept coordinates ``(n, num_concepts)``."""
+        features = np.asarray(features, dtype=float)
+        return features @ self.basis.T
+
+    def lift(self, concept_coords: np.ndarray) -> np.ndarray:
+        """Map concept coordinates back into feature space."""
+        concept_coords = np.asarray(concept_coords, dtype=float)
+        return concept_coords @ self.basis
+
+    # ------------------------------------------------------------------ #
+    def random_domain_vector(
+        self,
+        rng=None,
+        *,
+        concentration: float = 1.0,
+        anchor: Optional[np.ndarray] = None,
+        anchor_weight: float = 0.0,
+    ) -> np.ndarray:
+        """Draw a non-negative, unit-sum domain vector.
+
+        ``anchor``/``anchor_weight`` let callers derive a new domain near an
+        existing one — used to place a fine-tuned model's domain near the
+        dataset it was fine-tuned on, or a target task near (but not equal
+        to) a benchmark task.
+        """
+        generator = as_generator(rng)
+        raw = generator.gamma(concentration, size=self.num_concepts)
+        vector = raw / raw.sum()
+        if anchor is not None and anchor_weight > 0.0:
+            anchor = self.normalize_domain(anchor)
+            vector = (1.0 - anchor_weight) * vector + anchor_weight * anchor
+            vector = vector / vector.sum()
+        return vector
+
+    def normalize_domain(self, vector: np.ndarray) -> np.ndarray:
+        """Clip to non-negative values and normalise to unit sum."""
+        arr = np.asarray(vector, dtype=float).copy()
+        if arr.shape != (self.num_concepts,):
+            raise ConfigurationError(
+                f"domain vector must have shape ({self.num_concepts},), got {arr.shape}"
+            )
+        arr = np.clip(arr, 0.0, None)
+        total = arr.sum()
+        if total <= 0:
+            raise ConfigurationError("domain vector must have positive mass")
+        return arr / total
+
+    @staticmethod
+    def domain_affinity(domain_a: np.ndarray, domain_b: np.ndarray) -> float:
+        """Cosine similarity between two domain vectors (in ``[0, 1]``)."""
+        a = np.asarray(domain_a, dtype=float)
+        b = np.asarray(domain_b, dtype=float)
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.0
+        return float(np.clip(np.dot(a, b) / denom, 0.0, 1.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DomainSpace(modality={self.modality!r}, feature_dim={self.feature_dim}, "
+            f"num_concepts={self.num_concepts})"
+        )

@@ -1,0 +1,37 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module reproduces one table or figure of the evaluation section and
+exposes a ``run(...)`` function returning plain data structures (lists of
+row dicts / numeric series) plus a ``render(...)`` helper producing the
+text table printed by the corresponding benchmark target.
+
+The shared :class:`~repro.experiments.context.ExperimentContext` builds and
+caches the expensive offline artifacts (hub, performance matrix, clustering,
+target ground truth) once per modality so individual experiments stay cheap.
+
+Index (see DESIGN.md for the full mapping):
+
+==============  ====================================================
+Paper item      Module
+==============  ====================================================
+Fig. 1          :mod:`repro.experiments.fig1_distribution`
+Table I         :mod:`repro.experiments.table1_clustering_methods`
+Table II        :mod:`repro.experiments.table2_cluster_membership`
+Table III       :mod:`repro.experiments.table3_singleton_vs_non`
+Fig. 3 / 8      :mod:`repro.experiments.fig3_validation_curves`
+Fig. 4          :mod:`repro.experiments.fig4_convergence_groups`
+Fig. 5          :mod:`repro.experiments.fig5_recall_quality`
+Fig. 6          :mod:`repro.experiments.fig6_trend_quality`
+Table IV        :mod:`repro.experiments.table4_threshold`
+Fig. 7          :mod:`repro.experiments.fig7_selection_quality`
+Table V         :mod:`repro.experiments.table5_runtime`
+Table VI        :mod:`repro.experiments.table6_end_to_end`
+Table VII       :mod:`repro.experiments.table7_case_study`
+Table X (app.)  :mod:`repro.experiments.tablex_topk_parameter`
+==============  ====================================================
+"""
+
+from repro.experiments.context import ExperimentContext, get_context
+from repro.experiments.tables import TextTable
+
+__all__ = ["ExperimentContext", "get_context", "TextTable"]

@@ -1,0 +1,119 @@
+"""Ablation — choice of proxy score in the coarse-recall phase.
+
+The paper uses LEEP and notes (future work) that other lightweight
+transferability measures could be plugged in.  This ablation swaps the proxy
+scorer used for the cluster representatives (LEEP, NCE, LogME, H-score, kNN)
+and also includes a *prior-only* arm that ranks models purely by their average
+benchmark accuracy (i.e. Eq. 2 with the proxy term fixed to 1), then compares:
+
+* the average ground-truth accuracy of the recalled top-K models,
+* whether the overall best checkpoint is recalled,
+* the end-to-end accuracy after fine-selection on the recalled set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import FineSelectionConfig, RecallConfig
+from repro.core.recall import CoarseRecall
+from repro.core.selection import FineSelection
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import TextTable
+
+PROXY_SCORES = ("leep", "nce", "logme", "hscore", "knn")
+
+
+def _prior_only_ranking(context: ExperimentContext, top_k: int) -> List[str]:
+    """Rank checkpoints by average benchmark accuracy alone."""
+    averages = context.matrix.average_accuracies()
+    ordered = sorted(averages, key=averages.get, reverse=True)
+    return ordered[:top_k]
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    targets: Optional[Sequence[str]] = None,
+    top_k: int = 10,
+    proxies: Sequence[str] = PROXY_SCORES,
+) -> List[Dict[str, object]]:
+    """Recall quality and end-to-end accuracy per proxy score and target."""
+    truth = context.target_ground_truth()
+    config = FineSelectionConfig(total_epochs=context.offline_epochs)
+    records: List[Dict[str, object]] = []
+    target_names = list(targets) if targets else context.target_names
+    for target in target_names:
+        task = context.suite.task(target)
+        accuracies = {name: curve.final_test for name, curve in truth[target].items()}
+        best_model = max(accuracies, key=accuracies.get)
+        arms: Dict[str, List[str]] = {}
+        for proxy in proxies:
+            recall = CoarseRecall(
+                context.hub,
+                context.matrix,
+                context.clustering,
+                config=RecallConfig(proxy_score=proxy, top_k=top_k),
+            ).recall(task)
+            arms[proxy] = recall.recalled_models
+        arms["prior_only"] = _prior_only_ranking(context, top_k)
+        for arm_name, recalled in arms.items():
+            selection = FineSelection(
+                context.hub, context.matrix, context.fine_tuner, config=config
+            ).run(recalled, task)
+            records.append(
+                {
+                    "modality": context.modality,
+                    "target": target,
+                    "proxy": arm_name,
+                    "avg_recalled_acc": float(
+                        np.mean([accuracies[name] for name in recalled])
+                    ),
+                    "best_model_recalled": best_model in recalled,
+                    "selected_accuracy": selection.selected_accuracy,
+                    "runtime_epochs": selection.runtime_epochs,
+                }
+            )
+    return records
+
+
+def summarize(records: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Per-proxy means across targets."""
+    summary: Dict[str, Dict[str, float]] = {}
+    proxies = sorted({record["proxy"] for record in records})
+    for proxy in proxies:
+        rows = [record for record in records if record["proxy"] == proxy]
+        summary[proxy] = {
+            "avg_recalled_acc": float(np.mean([r["avg_recalled_acc"] for r in rows])),
+            "selected_accuracy": float(np.mean([r["selected_accuracy"] for r in rows])),
+            "best_recall_rate": float(np.mean([r["best_model_recalled"] for r in rows])),
+        }
+    return summary
+
+
+def render(records: List[Dict[str, object]]) -> str:
+    """Render the proxy-score ablation."""
+    table = TextTable(
+        [
+            "modality",
+            "target",
+            "proxy",
+            "avg_recalled_acc",
+            "best_model_recalled",
+            "selected_accuracy",
+            "runtime_epochs",
+        ],
+        title="Ablation: proxy-score choice in the coarse-recall phase",
+    )
+    for record in records:
+        table.add_dict_row(record)
+    lines = [table.render(), "", "Per-proxy means across targets:"]
+    for proxy, stats in summarize(records).items():
+        lines.append(
+            f"  {proxy:10s} avg_recalled_acc={stats['avg_recalled_acc']:.3f} "
+            f"selected_accuracy={stats['selected_accuracy']:.3f} "
+            f"best_recall_rate={stats['best_recall_rate']:.2f}"
+        )
+    return "\n".join(lines)

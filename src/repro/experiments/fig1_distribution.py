@@ -1,0 +1,60 @@
+"""Fig. 1 — accuracy distribution of every checkpoint on one NLP and one CV task.
+
+The paper motivates the problem by fine-tuning 44 NLP models on MNLI and 25
+CV models on the CC6204-Hackaton-CUB dataset and showing that only a small
+fraction of the repository performs well.  Here we regenerate the same
+series: the sorted ground-truth fine-tuning accuracies of every checkpoint
+on the corresponding task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import TextTable
+
+#: Task shown per modality (MNLI is a target task, CUB a CV benchmark task).
+DEFAULT_TASKS = {"nlp": "mnli", "cv": "cc6204_hackaton_cub"}
+
+
+def run(context: ExperimentContext, *, task_name: str | None = None) -> Dict[str, object]:
+    """Return the sorted accuracy series of every model on the Fig. 1 task."""
+    dataset = task_name or DEFAULT_TASKS[context.modality]
+    if dataset in context.suite.target_names:
+        accuracies = {
+            model: curve.final_test
+            for model, curve in context.target_ground_truth()[dataset].items()
+        }
+    else:
+        matrix = context.matrix
+        accuracies = {
+            model: matrix.value(dataset, model) for model in matrix.model_names
+        }
+    ordered = sorted(accuracies.items(), key=lambda item: -item[1])
+    return {
+        "modality": context.modality,
+        "dataset": dataset,
+        "models": [name for name, _ in ordered],
+        "accuracies": [acc for _, acc in ordered],
+        "num_models": len(ordered),
+        "best_accuracy": ordered[0][1],
+        "worst_accuracy": ordered[-1][1],
+        "accuracy_spread": ordered[0][1] - ordered[-1][1],
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the Fig. 1 series as a text table (model id vs accuracy)."""
+    table = TextTable(
+        ["model_id", "model", "accuracy"],
+        title=(
+            f"Fig. 1 ({result['modality'].upper()}): fine-tuning accuracy of "
+            f"{result['num_models']} models on {result['dataset']} (sorted desc)"
+        ),
+    )
+    models: List[str] = result["models"]  # type: ignore[assignment]
+    accuracies: List[float] = result["accuracies"]  # type: ignore[assignment]
+    for index, (model, accuracy) in enumerate(zip(models, accuracies)):
+        table.add_row([index, model, accuracy])
+    return table.render()

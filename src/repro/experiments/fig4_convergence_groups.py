@@ -1,0 +1,89 @@
+"""Fig. 4 — convergence processes of one model across the benchmark datasets.
+
+The paper shows that the BERT-family checkpoint
+``DoyyingFace/bert-asian-hate-tweets-asian-unclean-freeze-4`` produces
+validation/test curves on 30 datasets that fall into roughly four groups.
+We regenerate the same picture: the per-dataset validation (stage 1) and
+final test accuracies of a chosen checkpoint, together with the trend each
+dataset is assigned to by the convergence-trend miner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.convergence import ConvergenceTrendMiner
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import TextTable
+
+#: Checkpoint highlighted by the paper's Fig. 4 (per modality).
+DEFAULT_MODELS = {
+    "nlp": "DoyyingFace/bert-asian-hate-tweets-asian-unclean-freeze-4",
+    "cv": "microsoft/beit-base-patch16-224",
+}
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    model_name: Optional[str] = None,
+    num_trends: int = 4,
+    stage: int = 1,
+) -> Dict[str, object]:
+    """Group the chosen model's benchmark curves into convergence trends."""
+    name = model_name or DEFAULT_MODELS[context.modality]
+    if name not in context.hub.model_names:
+        name = context.hub.model_names[0]
+    curves = context.matrix.curves_for_model(name)
+    miner = ConvergenceTrendMiner(num_trends=num_trends)
+    trend_set = miner.mine(name, curves, stage=stage)
+    labels = trend_set.trend_labels()
+    datasets = []
+    for dataset_name in sorted(curves):
+        curve = curves[dataset_name]
+        datasets.append(
+            {
+                "dataset": dataset_name,
+                "val_at_stage": curve.val_at(stage),
+                "final_test": curve.final_test,
+                "trend": labels[dataset_name],
+            }
+        )
+    trends = [
+        {
+            "trend": trend.trend_id,
+            "size": trend.size,
+            "mean_val": trend.val_accuracy,
+            "mean_final_test": trend.test_accuracy,
+        }
+        for trend in trend_set.trends
+    ]
+    return {
+        "modality": context.modality,
+        "model": name,
+        "stage": stage,
+        "datasets": datasets,
+        "trends": trends,
+        "num_trends": len(trends),
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    """Render the Fig. 4 grouping."""
+    lines: List[str] = []
+    dataset_table = TextTable(
+        ["dataset", "val_at_stage", "final_test", "trend"],
+        title=(
+            f"Fig. 4 ({result['modality'].upper()}): convergence processes of "
+            f"{result['model']} grouped into {result['num_trends']} trends"
+        ),
+    )
+    for record in result["datasets"]:  # type: ignore[union-attr]
+        dataset_table.add_dict_row(record)
+    lines.append(dataset_table.render())
+    trend_table = TextTable(["trend", "size", "mean_val", "mean_final_test"],
+                            title="Mined convergence trends")
+    for record in result["trends"]:  # type: ignore[union-attr]
+        trend_table.add_dict_row(record)
+    lines.append(trend_table.render())
+    return "\n".join(lines)

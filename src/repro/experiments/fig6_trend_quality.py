@@ -1,0 +1,117 @@
+"""Fig. 6 — quality of convergence-trend clustering.
+
+Two comparisons per model, both computed from the first validation stage of
+its benchmark learning curves:
+
+* blue bars — silhouette of clustering the benchmark datasets by stage-1
+  validation accuracy vs a random clustering of the same datasets;
+* red bars — leave-one-out relative error of predicting a held-out dataset's
+  final test accuracy from its matched trend's mean vs from the global mean
+  of all final test accuracies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.distance import pairwise_distances
+from repro.cluster.silhouette import silhouette_score
+from repro.core.convergence import (
+    ConvergenceTrendMiner,
+    leave_one_out_prediction_error,
+    random_trend_labels,
+)
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import TextTable
+
+
+def _silhouette_of_labels(values: np.ndarray, labels: np.ndarray) -> float:
+    if len(set(labels.tolist())) < 2:
+        return 0.0
+    distance = pairwise_distances(values.reshape(-1, 1))
+    return silhouette_score(distance, labels)
+
+
+def run(
+    context: ExperimentContext,
+    *,
+    num_trends: int = 4,
+    stage: int = 1,
+    model_names: Optional[Sequence[str]] = None,
+    num_random_repeats: int = 5,
+) -> List[Dict[str, object]]:
+    """Per-model trend-clustering quality metrics."""
+    miner = ConvergenceTrendMiner(num_trends=num_trends)
+    rng = np.random.default_rng(context.seed)
+    names = list(model_names) if model_names else context.hub.model_names
+    records: List[Dict[str, object]] = []
+    for model_name in names:
+        curves = context.matrix.curves_for_model(model_name)
+        dataset_names = sorted(curves)
+        values = np.array([curves[name].val_at(stage) for name in dataset_names])
+        trend_set = miner.mine(model_name, curves, stage=stage)
+        labels = np.array(
+            [trend_set.trend_labels()[name] for name in dataset_names], dtype=int
+        )
+        validation_silhouette = _silhouette_of_labels(values, labels)
+        random_silhouettes = []
+        for _ in range(num_random_repeats):
+            random_labels = random_trend_labels(dataset_names, len(trend_set.trends), rng)
+            random_silhouettes.append(
+                _silhouette_of_labels(
+                    values, np.array([random_labels[name] for name in dataset_names])
+                )
+            )
+        errors = leave_one_out_prediction_error(curves, miner, model_name, stage=stage)
+        records.append(
+            {
+                "modality": context.modality,
+                "model": model_name,
+                "validation_silhouette": validation_silhouette,
+                "random_silhouette": float(np.mean(random_silhouettes)),
+                "trend_prediction_error": errors["trend_prediction_error"],
+                "global_mean_error": errors["global_mean_error"],
+            }
+        )
+    return records
+
+
+def summarize(records: List[Dict[str, object]]) -> Dict[str, float]:
+    """Aggregate means across models (the headline numbers of Fig. 6)."""
+    def mean_of(key: str) -> float:
+        return float(np.mean([record[key] for record in records]))
+
+    return {
+        "mean_validation_silhouette": mean_of("validation_silhouette"),
+        "mean_random_silhouette": mean_of("random_silhouette"),
+        "mean_trend_prediction_error": mean_of("trend_prediction_error"),
+        "mean_global_mean_error": mean_of("global_mean_error"),
+    }
+
+
+def render(records: List[Dict[str, object]]) -> str:
+    """Render the Fig. 6 per-model comparison plus the aggregate summary."""
+    table = TextTable(
+        [
+            "model",
+            "validation_silhouette",
+            "random_silhouette",
+            "trend_prediction_error",
+            "global_mean_error",
+        ],
+        title="Fig. 6: convergence-trend clustering quality (first validation stage)",
+    )
+    for record in records:
+        table.add_dict_row({**record, "model": str(record["model"]).split("/")[-1]})
+    summary = summarize(records)
+    summary_lines = [
+        "",
+        "Aggregate: "
+        f"silhouette {summary['mean_validation_silhouette']:.3f} (validation) vs "
+        f"{summary['mean_random_silhouette']:.3f} (random); "
+        f"prediction error {summary['mean_trend_prediction_error']:.3f} (trend) vs "
+        f"{summary['mean_global_mean_error']:.3f} (global mean)",
+    ]
+    return table.render() + "\n".join(summary_lines)

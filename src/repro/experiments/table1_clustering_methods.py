@@ -1,0 +1,91 @@
+"""Table I — clustering-method comparison.
+
+Compares model clusterings built from the performance-based similarity
+(Eq. 1) against the text-based model-card similarity, under hierarchical
+clustering and k-means, for both modalities.
+
+Cluster quality is measured with the silhouette coefficient evaluated on the
+*performance-based* distance matrix for every arm.  Evaluating all arms on
+the same behavioural geometry is what the comparison is about: a clustering
+is good when models grouped together actually train similarly, regardless of
+which signal (training performance or model-card text) produced the grouping.
+Expected shape (as in the paper): performance-based similarity beats the text
+baseline, and hierarchical clustering beats k-means on the performance-based
+similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster.distance import similarity_to_distance
+from repro.cluster.silhouette import silhouette_score
+from repro.core.config import ClusteringConfig
+from repro.core.model_clustering import ModelClusterer
+from repro.core.similarity import performance_similarity_matrix
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import TextTable
+
+
+def _kmeans_clusters(num_models: int) -> int:
+    """Cluster count for the k-means arm (about a quarter of the repository)."""
+    return max(2, num_models // 4)
+
+
+def run_single(context: ExperimentContext) -> List[Dict[str, object]]:
+    """Silhouette of the four (similarity x algorithm) combinations for one modality."""
+    matrix = context.matrix
+    cards = context.hub.model_cards()
+    # Shared evaluation geometry: Eq. 1 distances between the models'
+    # benchmark-performance vectors.
+    performance_distance = similarity_to_distance(
+        performance_similarity_matrix(matrix, top_k=5)
+    )
+    records: List[Dict[str, object]] = []
+    for similarity in ("performance", "text"):
+        for method in ("hierarchical", "kmeans"):
+            config = ClusteringConfig(
+                method=method,
+                similarity=similarity,
+                num_clusters=_kmeans_clusters(len(matrix.model_names))
+                if method == "kmeans"
+                else None,
+            )
+            clustering = ModelClusterer(config).cluster(matrix, model_cards=cards)
+            labels = clustering.assignment.labels
+            if len(set(labels.tolist())) < 2 or len(set(labels.tolist())) >= len(labels):
+                silhouette = float("nan")
+            else:
+                silhouette = silhouette_score(performance_distance, labels)
+            records.append(
+                {
+                    "modality": context.modality,
+                    "similarity": similarity,
+                    "method": method,
+                    "silhouette": silhouette,
+                    "num_clusters": clustering.assignment.num_clusters,
+                }
+            )
+    return records
+
+
+def run(contexts: Dict[str, ExperimentContext]) -> List[Dict[str, object]]:
+    """Run the comparison for every provided modality context."""
+    records: List[Dict[str, object]] = []
+    for context in contexts.values():
+        records.extend(run_single(context))
+    return records
+
+
+def render(records: List[Dict[str, object]]) -> str:
+    """Render Table I."""
+    table = TextTable(
+        ["similarity", "method", "modality", "silhouette", "num_clusters"],
+        title=(
+            "Table I: clustering methods comparison "
+            "(silhouette on the performance-based distance)"
+        ),
+    )
+    for record in records:
+        table.add_dict_row(record)
+    return table.render()

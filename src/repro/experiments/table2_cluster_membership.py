@@ -1,0 +1,76 @@
+"""Table II — non-singleton cluster membership.
+
+Lists the members of every non-singleton cluster produced by hierarchical
+clustering on the performance-based similarity, for the NLP and CV
+repositories, together with the dominant architecture/fine-tuning family of
+each cluster (the paper reads the same structure off the model names:
+``bert_ft_qqp`` runs group together, MNLI fine-tunes group together, and so
+on).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import TextTable
+
+
+def run(context: ExperimentContext) -> List[Dict[str, object]]:
+    """Return one record per non-singleton cluster."""
+    clustering = context.clustering
+    hub = context.hub
+    records: List[Dict[str, object]] = []
+    non_singleton = clustering.non_singleton_clusters()
+    for order, (cluster_id, members) in enumerate(
+        sorted(non_singleton.items(), key=lambda item: -len(item[1])), start=1
+    ):
+        families = Counter(hub.entry(name).family for name in members)
+        architectures = Counter(hub.entry(name).architecture for name in members)
+        records.append(
+            {
+                "modality": context.modality,
+                "cluster": f"C{order}",
+                "size": len(members),
+                "dominant_family": families.most_common(1)[0][0],
+                "family_purity": families.most_common(1)[0][1] / len(members),
+                "dominant_architecture": architectures.most_common(1)[0][0],
+                "representative": clustering.representative_of(cluster_id),
+                "members": sorted(members),
+            }
+        )
+    return records
+
+
+def run_summary(context: ExperimentContext) -> Dict[str, object]:
+    """Aggregate membership numbers (the paper's prose summary of Table II)."""
+    clustering = context.clustering
+    non_singleton = clustering.non_singleton_clusters()
+    return {
+        "modality": context.modality,
+        "num_models": len(clustering.model_names),
+        "num_non_singleton_clusters": len(non_singleton),
+        "num_models_in_non_singleton": sum(len(m) for m in non_singleton.values()),
+        "num_singleton_models": len(clustering.singleton_models()),
+        "mean_family_purity": (
+            sum(record["family_purity"] for record in run(context)) / max(len(non_singleton), 1)
+        ),
+    }
+
+
+def render(records: List[Dict[str, object]]) -> str:
+    """Render Table II (cluster listing with members)."""
+    table = TextTable(
+        ["modality", "cluster", "size", "dominant_family", "family_purity", "representative"],
+        title="Table II: non-singleton model clusters (hierarchical, performance-based)",
+    )
+    lines: List[str] = []
+    for record in records:
+        table.add_dict_row(record)
+    lines.append(table.render())
+    for record in records:
+        lines.append(
+            f"{record['modality']} {record['cluster']}: " + ", ".join(record["members"])
+        )
+    return "\n".join(lines)

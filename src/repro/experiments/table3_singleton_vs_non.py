@@ -1,0 +1,66 @@
+"""Table III — performance of models in singleton vs non-singleton clusters.
+
+For each modality the table reports (a) the average benchmark accuracy of
+models that landed in non-singleton vs singleton clusters and (b) how many
+benchmark datasets have their best-performing model inside each group.  The
+paper's finding — the strong checkpoints concentrate in non-singleton
+clusters — is what justifies scoring only those clusters' representatives in
+the coarse-recall phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.tables import TextTable
+
+
+def run(context: ExperimentContext) -> List[Dict[str, object]]:
+    """Return the two Table III rows (non-singleton / singleton) for one modality."""
+    matrix = context.matrix
+    clustering = context.clustering
+    singleton_models = set(clustering.singleton_models())
+    non_singleton_models = [
+        name for name in matrix.model_names if name not in singleton_models
+    ]
+    best_counts = {"non_singleton": 0, "singleton": 0}
+    for dataset in matrix.dataset_names:
+        best = matrix.best_model_for(dataset)
+        key = "singleton" if best in singleton_models else "non_singleton"
+        best_counts[key] += 1
+
+    def average(names) -> float:
+        if not names:
+            return float("nan")
+        return float(np.mean([matrix.average_accuracy(name) for name in names]))
+
+    return [
+        {
+            "modality": context.modality,
+            "cluster_type": "non-singleton",
+            "num_models": len(non_singleton_models),
+            "avg_accuracy": average(non_singleton_models),
+            "num_best_models": best_counts["non_singleton"],
+        },
+        {
+            "modality": context.modality,
+            "cluster_type": "singleton",
+            "num_models": len(singleton_models),
+            "avg_accuracy": average(sorted(singleton_models)),
+            "num_best_models": best_counts["singleton"],
+        },
+    ]
+
+
+def render(records: List[Dict[str, object]]) -> str:
+    """Render Table III."""
+    table = TextTable(
+        ["modality", "cluster_type", "num_models", "avg_accuracy", "num_best_models"],
+        title="Table III: models in singleton vs non-singleton clusters",
+    )
+    for record in records:
+        table.add_dict_row(record)
+    return table.render()

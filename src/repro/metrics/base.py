@@ -1,0 +1,77 @@
+"""Common interface of proxy (transferability) scorers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.splits import DataSplit
+from repro.data.tasks import ClassificationTask
+from repro.utils.exceptions import DataError
+from repro.zoo.models import PretrainedModel
+
+
+class ProxyScorer:
+    """Base class of all proxy scorers.
+
+    Subclasses implement :meth:`score_arrays` on raw arrays; the public
+    :meth:`score` method handles extracting the right split and the model's
+    representation/posterior, so call sites only pass a model and a task.
+    Higher scores always mean better expected transfer.
+    """
+
+    #: Short identifier used by the registry and by experiment configs.
+    name: str = "base"
+    #: Whether the scorer consumes the source-head posterior (``True``) or
+    #: the encoder representation (``False``).
+    uses_source_posterior: bool = False
+
+    def score(
+        self,
+        model: PretrainedModel,
+        task: ClassificationTask,
+        *,
+        split: str = "train",
+        max_samples: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Proxy score of ``model`` on ``task``.
+
+        Parameters
+        ----------
+        model, task:
+            Checkpoint and target dataset.
+        split:
+            Which split of the target dataset to use (``train`` by default —
+            proxy scores are computed on labelled target training data).
+        max_samples:
+            Optional cap on the number of target samples (the paper notes
+            proxy scores need only a few hundred items).
+        rng:
+            Generator used only when subsampling.
+        """
+        data = self._get_split(task, split)
+        features, labels = data.features, data.labels
+        if max_samples is not None and max_samples < len(data):
+            generator = rng if rng is not None else np.random.default_rng(0)
+            idx = generator.choice(len(data), size=max_samples, replace=False)
+            features, labels = features[idx], labels[idx]
+        if self.uses_source_posterior:
+            inputs = model.source_posterior(features)
+        else:
+            inputs = model.encode(features)
+        return float(self.score_arrays(inputs, labels, num_classes=task.num_classes))
+
+    def score_arrays(
+        self, inputs: np.ndarray, labels: np.ndarray, *, num_classes: int
+    ) -> float:
+        """Score from raw arrays; implemented by subclasses."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _get_split(task: ClassificationTask, split: str) -> DataSplit:
+        try:
+            return {"train": task.train, "val": task.val, "test": task.test}[split]
+        except KeyError:
+            raise DataError(f"unknown split {split!r}; expected train/val/test") from None

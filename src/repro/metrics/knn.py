@@ -1,0 +1,64 @@
+"""kNN proxy: leave-one-out nearest-neighbour accuracy on frozen features.
+
+Renggli et al. (CVPR 2022) approximate post-fine-tuning accuracy by running a
+k-nearest-neighbour classifier on the frozen representation of the target
+training data.  It is heavier than LEEP (distance matrix) but requires no
+source head; the paper cites it as the main alternative proxy task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import ProxyScorer
+from repro.utils.exceptions import ConfigurationError, DataError
+
+
+def knn_transfer_accuracy(
+    features: np.ndarray, labels: np.ndarray, *, k: int = 5
+) -> float:
+    """Leave-one-out kNN accuracy of ``labels`` from ``features``."""
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if features.ndim != 2:
+        raise DataError(f"features must be 2-d, got shape {features.shape}")
+    if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+        raise DataError("labels must be 1-d and aligned with features")
+    n = features.shape[0]
+    if n < 3:
+        raise DataError("kNN proxy requires at least three samples")
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    k = min(k, n - 1)
+
+    # Squared Euclidean distances with the diagonal excluded.
+    squared_norms = np.sum(features**2, axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * features @ features.T
+    np.fill_diagonal(distances, np.inf)
+
+    neighbour_idx = np.argpartition(distances, kth=k - 1, axis=1)[:, :k]
+    neighbour_labels = labels[neighbour_idx]
+    num_classes = int(labels.max()) + 1
+    correct = 0
+    for i in range(n):
+        votes = np.bincount(neighbour_labels[i], minlength=num_classes)
+        if np.argmax(votes) == labels[i]:
+            correct += 1
+    return correct / n
+
+
+class KnnScorer(ProxyScorer):
+    """Proxy scorer wrapping :func:`knn_transfer_accuracy`."""
+
+    name = "knn"
+    uses_source_posterior = False
+
+    def __init__(self, k: int = 5) -> None:
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        self.k = int(k)
+
+    def score_arrays(
+        self, inputs: np.ndarray, labels: np.ndarray, *, num_classes: int
+    ) -> float:
+        return knn_transfer_accuracy(inputs, labels, k=self.k)

@@ -1,0 +1,76 @@
+"""LEEP: Log Expected Empirical Prediction (Nguyen et al., ICML 2020).
+
+LEEP measures transferability from a source model to a target classification
+task without any training.  Given the source model's posterior ``theta(x)``
+over its own source labels ``z`` for every target sample, it builds the
+empirical joint ``P(y, z)`` between target labels and source labels, forms
+the conditional ``P(y | z)``, and evaluates the average log-likelihood of the
+"expected empirical predictor" ``sum_z P(y | z) * theta(x)_z``:
+
+``LEEP = mean_i log( sum_z P(y_i | z) * theta(x_i)_z )``
+
+The score is a negative log-likelihood-style quantity (always <= 0); larger
+(closer to zero) values indicate better expected transfer.  This is the
+proxy score the paper uses in its coarse-recall phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import ProxyScorer
+from repro.utils.exceptions import DataError
+from repro.utils.validation import check_labels, check_probability_matrix
+
+
+def leep_score(source_posterior: np.ndarray, target_labels: np.ndarray) -> float:
+    """Compute the LEEP score.
+
+    Parameters
+    ----------
+    source_posterior:
+        ``(n, z)`` matrix; row ``i`` is the source model's probability
+        distribution over its source label space for target sample ``i``.
+    target_labels:
+        ``(n,)`` integer target labels.
+    """
+    theta = check_probability_matrix("source_posterior", source_posterior)
+    labels = np.asarray(target_labels, dtype=int)
+    if labels.ndim != 1 or labels.shape[0] != theta.shape[0]:
+        raise DataError("target_labels must be 1-d and aligned with source_posterior")
+    if labels.shape[0] == 0:
+        raise DataError("LEEP requires at least one target sample")
+    num_target = int(labels.max()) + 1
+    labels = check_labels("target_labels", labels, num_target)
+
+    n = theta.shape[0]
+    # Empirical joint P(y, z): average source posterior mass per target label.
+    joint = np.zeros((num_target, theta.shape[1]))
+    for y in range(num_target):
+        mask = labels == y
+        if np.any(mask):
+            joint[y] = theta[mask].sum(axis=0)
+    joint /= n
+    marginal_z = joint.sum(axis=0)
+    # Conditional P(y | z); columns with zero marginal get a uniform fallback.
+    conditional = np.zeros_like(joint)
+    nonzero = marginal_z > 0
+    conditional[:, nonzero] = joint[:, nonzero] / marginal_z[None, nonzero]
+    if np.any(~nonzero):
+        conditional[:, ~nonzero] = 1.0 / num_target
+
+    expected = theta @ conditional.T  # (n, num_target)
+    likelihood = expected[np.arange(n), labels]
+    return float(np.mean(np.log(np.clip(likelihood, 1e-12, None))))
+
+
+class LeepScorer(ProxyScorer):
+    """Proxy scorer wrapping :func:`leep_score` (the paper's choice)."""
+
+    name = "leep"
+    uses_source_posterior = True
+
+    def score_arrays(
+        self, inputs: np.ndarray, labels: np.ndarray, *, num_classes: int
+    ) -> float:
+        return leep_score(inputs, labels)

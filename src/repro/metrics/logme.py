@@ -1,0 +1,100 @@
+"""LogME: Log of Maximum Evidence (You et al., ICML 2021).
+
+LogME estimates transferability from the frozen *representation* (not the
+source posterior): for each target class it fits a Bayesian linear model on
+the encoder features with a one-vs-rest target and computes the log marginal
+evidence, optimising the prior/noise precisions ``alpha``/``beta`` with the
+standard fixed-point iteration.  The per-class evidences are averaged; higher
+values mean the representation linearly explains the target labels better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import ProxyScorer
+from repro.utils.exceptions import DataError
+
+
+def _evidence_for_target(
+    features: np.ndarray,
+    target: np.ndarray,
+    singular_values_sq: np.ndarray,
+    projected: np.ndarray,
+    max_iter: int = 50,
+    tol: float = 1e-4,
+) -> float:
+    """Log evidence of a Bayesian ridge fit of ``target`` on ``features``."""
+    n, d = features.shape
+    alpha, beta = 1.0, 1.0
+    target_norm_sq = float(target @ target)
+    evidence = -np.inf
+    for _ in range(max_iter):
+        gamma_terms = beta * singular_values_sq / (alpha + beta * singular_values_sq)
+        gamma = float(np.sum(gamma_terms))
+        # Posterior mean in the singular basis.
+        mean_coeffs = beta * projected / (alpha + beta * singular_values_sq)
+        mean_norm_sq = float(np.sum(mean_coeffs**2))
+        residual = target_norm_sq - 2.0 * float(mean_coeffs @ projected) + float(
+            np.sum(mean_coeffs**2 * singular_values_sq)
+        )
+        residual = max(residual, 1e-12)
+        new_alpha = gamma / max(mean_norm_sq, 1e-12)
+        new_beta = (n - gamma) / residual
+        new_alpha = float(np.clip(new_alpha, 1e-8, 1e8))
+        new_beta = float(np.clip(new_beta, 1e-8, 1e8))
+        new_evidence = 0.5 * (
+            n * np.log(new_beta)
+            + d * np.log(new_alpha)
+            - np.sum(np.log(new_alpha + new_beta * singular_values_sq))
+            - new_beta * residual
+            - new_alpha * mean_norm_sq
+            - n * np.log(2.0 * np.pi)
+        )
+        if abs(new_alpha - alpha) < tol and abs(new_beta - beta) < tol:
+            alpha, beta, evidence = new_alpha, new_beta, new_evidence
+            break
+        alpha, beta, evidence = new_alpha, new_beta, new_evidence
+    return float(evidence) / n
+
+
+def log_maximum_evidence(features: np.ndarray, labels: np.ndarray) -> float:
+    """Average per-class LogME of ``features`` against one-vs-rest targets."""
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if features.ndim != 2:
+        raise DataError(f"features must be 2-d, got shape {features.shape}")
+    if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+        raise DataError("labels must be 1-d and aligned with features")
+    if features.shape[0] < 2:
+        raise DataError("LogME requires at least two samples")
+    classes = np.unique(labels)
+    if classes.size < 2:
+        raise DataError("LogME requires at least two classes present")
+
+    # Shared SVD of the (centred) feature matrix.
+    centred = features - features.mean(axis=0, keepdims=True)
+    u, s, _ = np.linalg.svd(centred, full_matrices=False)
+    singular_values_sq = s**2
+
+    evidences = []
+    for cls in classes:
+        target = (labels == cls).astype(float)
+        target = target - target.mean()
+        projected = s * (u.T @ target)
+        evidences.append(
+            _evidence_for_target(centred, target, singular_values_sq, projected)
+        )
+    return float(np.mean(evidences))
+
+
+class LogMeScorer(ProxyScorer):
+    """Proxy scorer wrapping :func:`log_maximum_evidence`."""
+
+    name = "logme"
+    uses_source_posterior = False
+
+    def score_arrays(
+        self, inputs: np.ndarray, labels: np.ndarray, *, num_classes: int
+    ) -> float:
+        return log_maximum_evidence(inputs, labels)

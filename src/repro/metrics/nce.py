@@ -1,0 +1,59 @@
+"""Negative Conditional Entropy (NCE) transferability estimate.
+
+NCE (Tran et al., 2019) measures transferability as the negative conditional
+entropy of the target label given the source model's *hard* prediction on
+each target sample: ``NCE = -H(Y | Z)``.  Like LEEP it requires no training;
+higher (closer to zero) values mean the source predictions already carry
+most of the information needed to separate the target classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.base import ProxyScorer
+from repro.utils.exceptions import DataError
+from repro.utils.validation import check_probability_matrix
+
+
+def nce_score(source_posterior: np.ndarray, target_labels: np.ndarray) -> float:
+    """Negative conditional entropy ``-H(Y | Z)`` in nats."""
+    theta = check_probability_matrix("source_posterior", source_posterior)
+    labels = np.asarray(target_labels, dtype=int)
+    if labels.ndim != 1 or labels.shape[0] != theta.shape[0]:
+        raise DataError("target_labels must be 1-d and aligned with source_posterior")
+    if labels.shape[0] == 0:
+        raise DataError("NCE requires at least one target sample")
+    source_pred = np.argmax(theta, axis=1)
+    n = labels.shape[0]
+    num_source = theta.shape[1]
+    num_target = int(labels.max()) + 1
+
+    joint = np.zeros((num_source, num_target))
+    for z, y in zip(source_pred, labels):
+        joint[z, y] += 1.0
+    joint /= n
+    marginal_z = joint.sum(axis=1)
+
+    conditional_entropy = 0.0
+    for z in range(num_source):
+        if marginal_z[z] <= 0:
+            continue
+        conditional = joint[z] / marginal_z[z]
+        nonzero = conditional > 0
+        conditional_entropy -= marginal_z[z] * float(
+            np.sum(conditional[nonzero] * np.log(conditional[nonzero]))
+        )
+    return -conditional_entropy
+
+
+class NceScorer(ProxyScorer):
+    """Proxy scorer wrapping :func:`nce_score`."""
+
+    name = "nce"
+    uses_source_posterior = True
+
+    def score_arrays(
+        self, inputs: np.ndarray, labels: np.ndarray, *, num_classes: int
+    ) -> float:
+        return nce_score(inputs, labels)

@@ -1,0 +1,63 @@
+"""Score normalisation helpers.
+
+Eq. 2 of the paper multiplies the (normalised) proxy score with the model's
+prior average accuracy, so raw proxy scores — which live on different scales
+for LEEP (negative log-likelihood), LogME (evidence) and kNN (accuracy) —
+must first be mapped into ``[0, 1]`` across the candidate pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import DataError
+
+
+def min_max_normalize(scores: Sequence[float]) -> np.ndarray:
+    """Map ``scores`` linearly into ``[0, 1]``.
+
+    A constant score vector maps to all ones (every candidate is equally
+    matched, so the prior-accuracy term decides alone).
+    """
+    arr = np.asarray(list(scores), dtype=float)
+    if arr.size == 0:
+        raise DataError("cannot normalise an empty score list")
+    if np.any(~np.isfinite(arr)):
+        raise DataError("scores must be finite")
+    low, high = float(arr.min()), float(arr.max())
+    if high - low < 1e-12:
+        return np.ones_like(arr)
+    return (arr - low) / (high - low)
+
+
+def rank_normalize(scores: Sequence[float]) -> np.ndarray:
+    """Map ``scores`` to their normalised ranks in ``[0, 1]`` (ties averaged)."""
+    arr = np.asarray(list(scores), dtype=float)
+    if arr.size == 0:
+        raise DataError("cannot normalise an empty score list")
+    if arr.size == 1:
+        return np.ones(1)
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty(arr.size, dtype=float)
+    ranks[order] = np.arange(arr.size, dtype=float)
+    # Average ranks of tied values.
+    for value in np.unique(arr):
+        mask = arr == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks / (arr.size - 1)
+
+
+def normalize_score_dict(scores: Dict[str, float], *, method: str = "minmax") -> Dict[str, float]:
+    """Normalise a name->score mapping, preserving keys."""
+    keys = list(scores.keys())
+    values = [scores[key] for key in keys]
+    if method == "minmax":
+        normalised = min_max_normalize(values)
+    elif method == "rank":
+        normalised = rank_normalize(values)
+    else:
+        raise DataError(f"unknown normalisation method {method!r}")
+    return {key: float(value) for key, value in zip(keys, normalised)}

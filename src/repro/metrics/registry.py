@@ -1,0 +1,48 @@
+"""Registry resolving proxy scorers by name.
+
+The coarse-recall configuration refers to its proxy score by a string
+(``"leep"`` in the paper); the registry turns that string into a scorer
+instance and lets downstream users plug in custom scorers without touching
+the core pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.metrics.base import ProxyScorer
+from repro.metrics.hscore import HScoreScorer
+from repro.metrics.knn import KnnScorer
+from repro.metrics.leep import LeepScorer
+from repro.metrics.logme import LogMeScorer
+from repro.metrics.nce import NceScorer
+from repro.utils.exceptions import ConfigurationError
+
+_FACTORIES: Dict[str, Callable[[], ProxyScorer]] = {
+    "leep": LeepScorer,
+    "nce": NceScorer,
+    "logme": LogMeScorer,
+    "hscore": HScoreScorer,
+    "knn": KnnScorer,
+}
+
+
+def register_scorer(name: str, factory: Callable[[], ProxyScorer], *, overwrite: bool = False) -> None:
+    """Register a custom proxy-scorer factory under ``name``."""
+    if name in _FACTORIES and not overwrite:
+        raise ConfigurationError(f"scorer {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_scorers() -> List[str]:
+    """Names of every registered scorer."""
+    return sorted(_FACTORIES)
+
+
+def get_scorer(name: str) -> ProxyScorer:
+    """Instantiate the scorer registered under ``name``."""
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown proxy scorer {name!r}; available: {available_scorers()}"
+        )
+    return _FACTORIES[name]()

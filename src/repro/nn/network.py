@@ -1,0 +1,191 @@
+"""MLP classifier with mini-batch training and epoch-level evaluation.
+
+This is the workhorse used by :mod:`repro.zoo.finetune` to attach a new
+classification head on top of a pre-trained encoder and fine-tune it on a
+target dataset, recording a per-epoch validation/test curve (the paper's
+"convergence process").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, Relu, Sequential, Tanh
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.metrics import accuracy
+from repro.nn.optim import Optimizer, build_optimizer
+from repro.utils.exceptions import ConfigurationError, DataError
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a single training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+
+class MLPClassifier:
+    """Multi-layer perceptron with a softmax output layer.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the input features.
+    num_classes:
+        Number of output classes.
+    hidden_dims:
+        Sizes of hidden layers (empty tuple gives a linear/softmax model).
+    activation:
+        ``"relu"`` or ``"tanh"``.
+    dropout:
+        Dropout rate applied after each hidden activation.
+    l2:
+        L2 penalty applied to linear-layer weights.
+    optimizer / learning_rate:
+        Optimiser name (``sgd``/``momentum``/``adam``) and step size.
+    rng:
+        Seed or generator controlling initialisation, shuffling and dropout.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        *,
+        hidden_dims: Sequence[int] = (),
+        activation: str = "relu",
+        dropout: float = 0.0,
+        l2: float = 0.0,
+        optimizer: str = "adam",
+        learning_rate: float = 1e-2,
+        rng=None,
+    ) -> None:
+        if input_dim <= 0 or num_classes <= 1:
+            raise ConfigurationError(
+                "input_dim must be positive and num_classes must be >= 2"
+            )
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self._rng = as_generator(rng)
+        layers = []
+        previous = input_dim
+        for width in hidden_dims:
+            layers.append(Linear(previous, int(width), rng=self._rng, l2=l2))
+            layers.append(self._make_activation(activation))
+            if dropout:
+                layers.append(Dropout(dropout, rng=self._rng))
+            previous = int(width)
+        layers.append(Linear(previous, num_classes, rng=self._rng, l2=l2))
+        self.net = Sequential(layers)
+        self.optimizer: Optimizer = build_optimizer(optimizer, learning_rate)
+        self.history = TrainingHistory()
+
+    @staticmethod
+    def _make_activation(name: str):
+        if name == "relu":
+            return Relu()
+        if name == "tanh":
+            return Tanh()
+        raise ConfigurationError(f"unknown activation {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Raw logits for ``x`` of shape ``(n, input_dim)``."""
+        x = self._check_features(x)
+        return self.net.forward(x, training=False)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        return softmax(self.decision_function(x), axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return np.argmax(self.decision_function(x), axis=1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Classification accuracy on ``(x, y)``."""
+        return accuracy(np.asarray(y), self.predict(x))
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit_epoch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        batch_size: int = 32,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> float:
+        """Train for a single epoch; returns the mean batch loss.
+
+        Validation accuracy is appended to :attr:`history` when a
+        validation split is supplied, which is what the fine-tuning engine
+        uses to build convergence processes.
+        """
+        x = self._check_features(x)
+        y = np.asarray(y, dtype=int)
+        if y.shape[0] != x.shape[0]:
+            raise DataError("x and y must have the same number of rows")
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        order = self._rng.permutation(x.shape[0])
+        losses = []
+        correct = 0
+        for start in range(0, x.shape[0], batch_size):
+            idx = order[start : start + batch_size]
+            batch_x, batch_y = x[idx], y[idx]
+            logits = self.net.forward(batch_x, training=True)
+            loss, grad = softmax_cross_entropy(logits, batch_y)
+            losses.append(loss)
+            correct += int(np.sum(np.argmax(logits, axis=1) == batch_y))
+            self.net.backward(grad)
+            self.optimizer.step(self.net.params(), self.net.grads())
+        mean_loss = float(np.mean(losses))
+        self.history.train_loss.append(mean_loss)
+        self.history.train_accuracy.append(correct / x.shape[0])
+        if x_val is not None and y_val is not None:
+            self.history.val_accuracy.append(self.score(x_val, y_val))
+        return mean_loss
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 10,
+        batch_size: int = 32,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` epochs and return the accumulated history."""
+        if epochs <= 0:
+            raise ConfigurationError("epochs must be positive")
+        for _ in range(epochs):
+            self.fit_epoch(
+                x, y, batch_size=batch_size, x_val=x_val, y_val=y_val
+            )
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    def _check_features(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise DataError(
+                f"expected features of shape (n, {self.input_dim}), got {x.shape}"
+            )
+        return x

@@ -1,0 +1,20 @@
+"""Lightweight text-embedding substrate (SBERT stand-in).
+
+The paper's text-based clustering baseline encodes each HuggingFace model
+card with SBERT and compares cards by cosine similarity.  Offline we embed
+the synthetic model cards with a TF-IDF bag-of-words vectoriser, which keeps
+the relevant property of the baseline — it sees naming/description overlap
+but not training-performance structure.
+"""
+
+from repro.text.embedding import TextEmbedder, cosine_similarity, cosine_similarity_matrix
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.tokenizer import tokenize
+
+__all__ = [
+    "TextEmbedder",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "TfidfVectorizer",
+    "tokenize",
+]

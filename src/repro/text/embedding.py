@@ -1,0 +1,81 @@
+"""Document embedding and cosine-similarity helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.text.tfidf import TfidfVectorizer
+from repro.utils.exceptions import DataError
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0 when either is all-zero)."""
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise DataError(f"vectors must have the same shape ({a.shape} vs {b.shape})")
+    denominator = np.linalg.norm(a) * np.linalg.norm(b)
+    if denominator == 0:
+        return 0.0
+    return float(np.dot(a, b) / denominator)
+
+
+def cosine_similarity_matrix(rows: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities of the rows of ``rows``."""
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim != 2:
+        raise DataError(f"rows must be 2-d, got shape {rows.shape}")
+    norms = np.linalg.norm(rows, axis=1)
+    norms = np.where(norms == 0, 1.0, norms)
+    normalised = rows / norms[:, None]
+    similarity = normalised @ normalised.T
+    return np.clip(similarity, -1.0, 1.0)
+
+
+class TextEmbedder:
+    """Embed named documents (model cards) into TF-IDF space.
+
+    This is the reproduction's stand-in for SBERT in the text-based
+    clustering baseline of Table I.
+    """
+
+    def __init__(self, *, max_features: int = 512) -> None:
+        self._vectorizer = TfidfVectorizer(max_features=max_features)
+        self._names: list[str] = []
+        self._matrix: np.ndarray | None = None
+
+    def fit(self, documents: Dict[str, str]) -> "TextEmbedder":
+        """Fit the embedder on a name -> document mapping."""
+        if not documents:
+            raise DataError("cannot fit a TextEmbedder on an empty document set")
+        self._names = list(documents.keys())
+        self._matrix = self._vectorizer.fit_transform([documents[name] for name in self._names])
+        return self
+
+    @property
+    def names(self) -> Sequence[str]:
+        """Names of the fitted documents, aligned with :meth:`embeddings`."""
+        return list(self._names)
+
+    def embeddings(self) -> np.ndarray:
+        """Embedding matrix of the fitted documents."""
+        if self._matrix is None:
+            raise DataError("TextEmbedder must be fitted first")
+        return self._matrix
+
+    def similarity_matrix(self) -> np.ndarray:
+        """Pairwise cosine similarity of the fitted documents."""
+        return cosine_similarity_matrix(self.embeddings())
+
+    def similarity(self, name_a: str, name_b: str) -> float:
+        """Cosine similarity between two fitted documents by name."""
+        if self._matrix is None:
+            raise DataError("TextEmbedder must be fitted first")
+        try:
+            index_a = self._names.index(name_a)
+            index_b = self._names.index(name_b)
+        except ValueError as error:
+            raise DataError(f"unknown document name: {error}") from None
+        return cosine_similarity(self._matrix[index_a], self._matrix[index_b])

@@ -1,0 +1,33 @@
+"""Tokenisation for model-card text."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Set
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+#: Common English words carrying no model-card-specific signal.
+_STOPWORDS: Set[str] = {
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has",
+    "in", "is", "it", "its", "of", "on", "or", "that", "the", "this", "to",
+    "was", "were", "with", "without", "your", "you", "use", "used", "using",
+}
+
+
+def tokenize(text: str, *, remove_stopwords: bool = True, min_length: int = 2) -> List[str]:
+    """Lower-case word/number tokens of ``text``.
+
+    Model names like ``bert_ft_qqp-68`` split into their informative pieces
+    (``bert``, ``ft``, ``qqp``, ``68``), which is what lets the text baseline
+    group checkpoints with similar names.
+    """
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    filtered = []
+    for token in tokens:
+        if len(token) < min_length:
+            continue
+        if remove_stopwords and token in _STOPWORDS:
+            continue
+        filtered.append(token)
+    return filtered

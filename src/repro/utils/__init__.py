@@ -1,0 +1,36 @@
+"""Shared utilities: RNG management, validation, timing and serialization.
+
+These helpers are intentionally small and dependency-free so that every
+other subpackage (``repro.nn``, ``repro.zoo``, ``repro.core`` ...) can use
+them without import cycles.
+"""
+
+from repro.utils.exceptions import (
+    ConfigurationError,
+    DataError,
+    ReproError,
+    SelectionError,
+)
+from repro.utils.rng import RngFactory, as_generator, spawn_rng
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_matrix,
+    check_same_length,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "DataError",
+    "ReproError",
+    "SelectionError",
+    "RngFactory",
+    "as_generator",
+    "spawn_rng",
+    "Stopwatch",
+    "check_fraction",
+    "check_positive",
+    "check_probability_matrix",
+    "check_same_length",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at an application boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object or parameter is invalid."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset, matrix or array has an invalid shape/content."""
+
+
+class SelectionError(ReproError):
+    """Raised when a model-selection run cannot proceed.
+
+    Typical causes: an empty candidate pool, a performance matrix that does
+    not cover the requested models, or inconsistent convergence records.
+    """
+
+
+class HubError(ReproError):
+    """Raised when a model hub lookup fails (unknown model or dataset)."""

@@ -1,0 +1,45 @@
+"""Simple wall-clock timing helpers for examples and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+from contextlib import contextmanager
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock timings.
+
+    The experiment harness mostly reports cost in *fine-tuning epochs*
+    (matching the paper), but examples also print wall-clock time, which
+    this class collects.
+    """
+
+    timings: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self) -> float:
+        """Total seconds across all named sections."""
+        return float(sum(self.timings.values()))
+
+    def report_lines(self) -> List[str]:
+        """Human-readable per-section summary lines."""
+        lines = []
+        for name in sorted(self.timings):
+            lines.append(
+                f"{name}: {self.timings[name]:.3f}s over {self.counts[name]} call(s)"
+            )
+        return lines

@@ -1,0 +1,44 @@
+"""Simulated pre-trained model hub (stand-in for the HuggingFace model zoo).
+
+The paper selects among 40 NLP and 30 CV checkpoints downloaded from
+HuggingFace.  This subpackage recreates that repository structure offline:
+
+* :mod:`repro.zoo.catalog` — the catalogue of model entries (names mirror
+  the paper's Table VIII), each describing architecture family, encoder
+  quality and the datasets the checkpoint was fine-tuned on.
+* :mod:`repro.zoo.models` — :class:`PretrainedModel`: a synthetic encoder
+  whose concept coverage reflects the model's training history, plus a
+  source-label head used by proxy scores such as LEEP.
+* :mod:`repro.zoo.hub` — :class:`ModelHub`: builds and caches the models of
+  one modality on top of a :class:`~repro.data.workloads.WorkloadSuite`.
+* :mod:`repro.zoo.finetune` — the fine-tuning engine producing epoch-level
+  validation/test curves (:class:`LearningCurve`), including stage-wise
+  sessions needed by successive halving and fine-selection.
+* :mod:`repro.zoo.model_cards` — synthetic model-card text used by the
+  text-similarity clustering baseline.
+"""
+
+from repro.zoo.catalog import (
+    ModelCatalogEntry,
+    catalog_for_modality,
+    cv_catalog,
+    nlp_catalog,
+)
+from repro.zoo.finetune import FineTuneConfig, FineTuneSession, FineTuner, LearningCurve
+from repro.zoo.hub import ModelHub
+from repro.zoo.model_cards import render_model_card
+from repro.zoo.models import PretrainedModel
+
+__all__ = [
+    "ModelCatalogEntry",
+    "catalog_for_modality",
+    "cv_catalog",
+    "nlp_catalog",
+    "FineTuneConfig",
+    "FineTuneSession",
+    "FineTuner",
+    "LearningCurve",
+    "ModelHub",
+    "render_model_card",
+    "PretrainedModel",
+]

@@ -1,0 +1,232 @@
+"""Fine-tuning engine producing epoch-level convergence processes.
+
+The paper fine-tunes each checkpoint on a dataset for a fixed number of
+epochs and records validation accuracy at every validation interval plus the
+final test accuracy; these records form both the performance matrix (offline)
+and the convergence processes mined for the fine-selection phase (online).
+
+:class:`FineTuner` reproduces that contract: it attaches a fresh classifier
+head to a :class:`~repro.zoo.models.PretrainedModel`'s encoder and trains it
+with mini-batch SGD/Adam, returning a :class:`LearningCurve`.  Stage-wise
+training (needed by successive halving and by Algorithm 1) goes through
+:class:`FineTuneSession`, which can be advanced epoch by epoch while the
+selection algorithm decides which models survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.tasks import ClassificationTask
+from repro.nn.network import MLPClassifier
+from repro.utils.exceptions import ConfigurationError, DataError
+from repro.utils.rng import RngFactory
+from repro.zoo.models import PretrainedModel
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    """Hyper-parameters of one fine-tuning run.
+
+    ``epochs`` is the full training budget (5 for NLP, 4 for CV in the
+    paper); selection algorithms may stop earlier.
+    """
+
+    epochs: int = 5
+    learning_rate: float = 5e-2
+    batch_size: int = 32
+    hidden_dims: Tuple[int, ...] = ()
+    weight_decay: float = 1e-4
+    optimizer: str = "adam"
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ConfigurationError("epochs must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+
+    def with_epochs(self, epochs: int) -> "FineTuneConfig":
+        """Copy of this config with a different epoch budget."""
+        return FineTuneConfig(
+            epochs=epochs,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            hidden_dims=self.hidden_dims,
+            weight_decay=self.weight_decay,
+            optimizer=self.optimizer,
+            activation=self.activation,
+        )
+
+
+@dataclass
+class LearningCurve:
+    """Convergence process of one (model, dataset) fine-tuning run."""
+
+    model_name: str
+    dataset_name: str
+    val_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.val_accuracy)
+
+    @property
+    def final_val(self) -> float:
+        """Validation accuracy after the last completed epoch."""
+        if not self.val_accuracy:
+            raise DataError("learning curve has no recorded epochs")
+        return self.val_accuracy[-1]
+
+    @property
+    def final_test(self) -> float:
+        """Test accuracy after the last completed epoch."""
+        if not self.test_accuracy:
+            raise DataError("learning curve has no recorded epochs")
+        return self.test_accuracy[-1]
+
+    @property
+    def best_val(self) -> float:
+        """Best validation accuracy over the run."""
+        if not self.val_accuracy:
+            raise DataError("learning curve has no recorded epochs")
+        return max(self.val_accuracy)
+
+    def val_at(self, stage: int) -> float:
+        """Validation accuracy at 1-based epoch ``stage`` (clamped to the end)."""
+        if not self.val_accuracy:
+            raise DataError("learning curve has no recorded epochs")
+        index = min(max(stage, 1), self.epochs) - 1
+        return self.val_accuracy[index]
+
+    def truncated(self, epochs: int) -> "LearningCurve":
+        """Copy of the curve keeping only the first ``epochs`` entries."""
+        return LearningCurve(
+            model_name=self.model_name,
+            dataset_name=self.dataset_name,
+            val_accuracy=list(self.val_accuracy[:epochs]),
+            test_accuracy=list(self.test_accuracy[:epochs]),
+            train_loss=list(self.train_loss[:epochs]),
+        )
+
+
+class FineTuneSession:
+    """Incremental fine-tuning of one model on one task.
+
+    The session encodes the task's splits once, then trains the head in
+    epoch-sized stages.  Selection algorithms advance surviving sessions and
+    simply stop calling :meth:`train_epochs` for filtered models, which is
+    how the epoch accounting in the paper's Tables V/VI arises.
+    """
+
+    def __init__(
+        self,
+        model: PretrainedModel,
+        task: ClassificationTask,
+        config: FineTuneConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if model.modality != task.modality:
+            raise ConfigurationError(
+                f"cannot fine-tune {model.modality!r} model {model.name!r} on "
+                f"{task.modality!r} task {task.name!r}"
+            )
+        self.model = model
+        self.task = task
+        self.config = config
+        self._train_features = model.encode(task.train.features)
+        self._val_features = model.encode(task.val.features)
+        self._test_features = model.encode(task.test.features)
+        self.head = MLPClassifier(
+            input_dim=model.hidden_dim,
+            num_classes=task.num_classes,
+            hidden_dims=config.hidden_dims,
+            activation=config.activation,
+            l2=config.weight_decay,
+            optimizer=config.optimizer,
+            learning_rate=config.learning_rate,
+            rng=rng,
+        )
+        self.curve = LearningCurve(model_name=model.name, dataset_name=task.name)
+
+    @property
+    def epochs_trained(self) -> int:
+        """Number of epochs this session has completed."""
+        return self.curve.epochs
+
+    def train_epochs(self, num_epochs: int = 1) -> LearningCurve:
+        """Advance the session by ``num_epochs`` epochs and return the curve."""
+        if num_epochs <= 0:
+            raise ConfigurationError("num_epochs must be positive")
+        for _ in range(num_epochs):
+            loss = self.head.fit_epoch(
+                self._train_features,
+                self.task.train.labels,
+                batch_size=self.config.batch_size,
+            )
+            self.curve.train_loss.append(loss)
+            self.curve.val_accuracy.append(self.validation_accuracy())
+            self.curve.test_accuracy.append(self.test_accuracy())
+        return self.curve
+
+    def validation_accuracy(self) -> float:
+        """Current accuracy on the validation split."""
+        return self.head.score(self._val_features, self.task.val.labels)
+
+    def test_accuracy(self) -> float:
+        """Current accuracy on the test split."""
+        return self.head.score(self._test_features, self.task.test.labels)
+
+
+class FineTuner:
+    """Factory for fine-tuning runs with reproducible per-pair randomness."""
+
+    def __init__(self, config: Optional[FineTuneConfig] = None, *, seed: int = 0) -> None:
+        self.config = config or FineTuneConfig()
+        self._rng_factory = RngFactory(seed)
+
+    def start_session(
+        self,
+        model: PretrainedModel,
+        task: ClassificationTask,
+        *,
+        config: Optional[FineTuneConfig] = None,
+    ) -> FineTuneSession:
+        """Create an incremental fine-tuning session for ``(model, task)``."""
+        cfg = config or self.config
+        rng = self._rng_factory.named("finetune", model.name, task.name, cfg.learning_rate)
+        return FineTuneSession(model, task, cfg, rng)
+
+    def fine_tune(
+        self,
+        model: PretrainedModel,
+        task: ClassificationTask,
+        *,
+        epochs: Optional[int] = None,
+        config: Optional[FineTuneConfig] = None,
+    ) -> LearningCurve:
+        """Run a full fine-tuning and return its learning curve."""
+        cfg = config or self.config
+        session = self.start_session(model, task, config=cfg)
+        session.train_epochs(epochs if epochs is not None else cfg.epochs)
+        return session.curve
+
+    def fine_tune_many(
+        self,
+        models: Sequence[PretrainedModel],
+        task: ClassificationTask,
+        *,
+        epochs: Optional[int] = None,
+    ) -> Dict[str, LearningCurve]:
+        """Fine-tune every model in ``models`` on ``task`` (brute-force helper)."""
+        return {
+            model.name: self.fine_tune(model, task, epochs=epochs) for model in models
+        }

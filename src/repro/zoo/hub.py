@@ -1,0 +1,202 @@
+"""The model hub: builds and serves the simulated checkpoint repository.
+
+A :class:`ModelHub` wires a catalogue (:mod:`repro.zoo.catalog`) to a
+workload suite (:mod:`repro.data.workloads`) of the same modality.  For each
+catalogue entry it derives the checkpoint's domain vector from the entry's
+pre-training corpus and fine-tuning datasets, instantiates the
+:class:`~repro.zoo.models.PretrainedModel` and caches it.  Checkpoints in the
+same *family* share most of their domain (with a small per-checkpoint
+perturbation), which is what makes them cluster together in the coarse-recall
+phase — exactly the behaviour the paper observes for the ``bert_ft_qqp-*``
+and ``feather_berts`` groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.workloads import WorkloadSuite
+from repro.utils.exceptions import HubError
+from repro.utils.rng import RngFactory
+from repro.zoo.catalog import ModelCatalogEntry, catalog_for_modality
+from repro.zoo.model_cards import render_model_card
+from repro.zoo.models import PretrainedModel
+
+#: How strongly a corpus anchor mixes the benchmark-task domains vs a broad
+#: uniform component.  ``(benchmark names, uniform weight, breadth noise)``.
+_CORPUS_RECIPES = {
+    "english": ("__all__", 0.45),
+    "foreign": ("__none__", 0.15),
+    "imagenet1k": (("cifar10", "stl10", "food101", "cc6204_hackaton_cub", "cats_vs_dogs"), 0.3),
+    "imagenet21k": ("__all__", 0.4),
+    "faces": (("fer2013",), 0.25),
+    "artwork": ("__none__", 0.2),
+}
+
+
+class ModelHub:
+    """Container of all simulated checkpoints for one modality.
+
+    Parameters
+    ----------
+    suite:
+        Workload suite providing the domain space and benchmark-task domains
+        used to position the checkpoints.
+    entries:
+        Catalogue entries to include; defaults to the full catalogue for the
+        suite's modality.  Passing a subset keeps tests fast.
+    seed:
+        Root seed of all per-model randomness.
+    hidden_dim:
+        Encoder output dimensionality shared by all checkpoints.
+    """
+
+    def __init__(
+        self,
+        suite: WorkloadSuite,
+        *,
+        entries: Optional[Sequence[ModelCatalogEntry]] = None,
+        seed: int = 0,
+        hidden_dim: int = 24,
+    ) -> None:
+        self.suite = suite
+        self.entries: List[ModelCatalogEntry] = list(
+            entries if entries is not None else catalog_for_modality(suite.modality)
+        )
+        for entry in self.entries:
+            if entry.modality != suite.modality:
+                raise HubError(
+                    f"catalogue entry {entry.name!r} is {entry.modality!r} but the "
+                    f"suite is {suite.modality!r}"
+                )
+        self.hidden_dim = int(hidden_dim)
+        self._rng_factory = RngFactory(seed)
+        self._models: Dict[str, PretrainedModel] = {}
+        self._entries_by_name = {entry.name: entry for entry in self.entries}
+        if len(self._entries_by_name) != len(self.entries):
+            raise HubError("catalogue entries contain duplicate model names")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def modality(self) -> str:
+        """Modality served by this hub."""
+        return self.suite.modality
+
+    @property
+    def model_names(self) -> List[str]:
+        """Names of every checkpoint in catalogue order."""
+        return [entry.name for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries_by_name
+
+    def entry(self, name: str) -> ModelCatalogEntry:
+        """Catalogue entry for ``name``."""
+        if name not in self._entries_by_name:
+            raise HubError(f"unknown model {name!r}")
+        return self._entries_by_name[name]
+
+    def get(self, name: str) -> PretrainedModel:
+        """Return (building and caching on first use) the checkpoint ``name``."""
+        if name not in self._models:
+            self._models[name] = self._build_model(self.entry(name))
+        return self._models[name]
+
+    def models(self) -> List[PretrainedModel]:
+        """All checkpoints in catalogue order."""
+        return [self.get(name) for name in self.model_names]
+
+    def model_card(self, name: str) -> str:
+        """Synthetic model-card text for ``name``."""
+        return render_model_card(self.entry(name))
+
+    def model_cards(self) -> Dict[str, str]:
+        """Model cards for every checkpoint, keyed by name."""
+        return {name: self.model_card(name) for name in self.model_names}
+
+    def subset(self, names: Sequence[str]) -> "ModelHub":
+        """A new hub restricted to ``names`` (sharing the same suite and seed)."""
+        entries = [self.entry(name) for name in names]
+        return ModelHub(
+            self.suite,
+            entries=entries,
+            seed=self._rng_factory.root_seed,
+            hidden_dim=self.hidden_dim,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _corpus_domain(self, corpus: str, rng: np.random.Generator) -> np.ndarray:
+        """Domain vector of a pre-training corpus."""
+        space = self.suite.space
+        recipe = _CORPUS_RECIPES.get(corpus, ("__none__", 0.2))
+        benchmark_names, uniform_weight = recipe
+        uniform = np.full(space.num_concepts, 1.0 / space.num_concepts)
+        if benchmark_names == "__all__":
+            anchors = [self.suite.spec(name).domain for name in self.suite.benchmark_names]
+        elif benchmark_names == "__none__":
+            anchors = []
+        else:
+            anchors = [
+                self.suite.spec(name).domain
+                for name in benchmark_names
+                if name in self.suite.benchmark_names
+            ]
+        if anchors:
+            anchor_mix = space.normalize_domain(np.mean(anchors, axis=0))
+            domain = uniform_weight * uniform + (1.0 - uniform_weight) * anchor_mix
+        else:
+            # Corpus unrelated to the benchmarks (foreign language, artwork):
+            # a concentrated random domain far from most benchmark tasks.
+            domain = space.random_domain_vector(rng, concentration=0.35)
+            domain = uniform_weight * uniform + (1.0 - uniform_weight) * domain
+        return space.normalize_domain(domain)
+
+    def _finetune_anchor(self, entry: ModelCatalogEntry) -> Optional[np.ndarray]:
+        """Mean domain of the datasets the checkpoint was fine-tuned on."""
+        domains = []
+        for dataset_name in entry.finetune_datasets:
+            try:
+                domains.append(self.suite.spec(dataset_name).domain)
+            except Exception:
+                # Fine-tune dataset not part of this suite (e.g. a target-only
+                # dataset filtered out in a reduced suite) — skip it.
+                continue
+        if not domains:
+            return None
+        return self.suite.space.normalize_domain(np.mean(domains, axis=0))
+
+    def _build_model(self, entry: ModelCatalogEntry) -> PretrainedModel:
+        space = self.suite.space
+        corpus_rng = self._rng_factory.named("corpus", self.modality, entry.pretrain_corpus)
+        family_rng = self._rng_factory.named("family", self.modality, entry.family)
+        model_rng = self._rng_factory.named("model", self.modality, entry.name)
+
+        corpus_domain = self._corpus_domain(entry.pretrain_corpus, corpus_rng)
+        # Family-level tilt: checkpoints in the same family share this
+        # component, which is what makes them cluster together.
+        family_tilt = space.random_domain_vector(family_rng, concentration=0.8)
+        domain = 0.72 * corpus_domain + 0.28 * family_tilt
+
+        finetune_anchor = self._finetune_anchor(entry)
+        if finetune_anchor is not None and entry.finetune_weight > 0:
+            domain = (1.0 - entry.finetune_weight) * domain + entry.finetune_weight * finetune_anchor
+
+        # Small per-checkpoint perturbation so siblings are similar, not equal.
+        perturbation = space.random_domain_vector(model_rng, concentration=1.0)
+        domain = 0.93 * domain + 0.07 * perturbation
+
+        return PretrainedModel(
+            entry,
+            space,
+            domain,
+            hidden_dim=self.hidden_dim,
+            rng=model_rng,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ModelHub(modality={self.modality!r}, models={len(self)})"

@@ -1,0 +1,56 @@
+"""Tests for repro.cluster.assignments.ClusterAssignment."""
+
+import pytest
+
+from repro.cluster.assignments import ClusterAssignment
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture()
+def assignment():
+    return ClusterAssignment.from_labels(
+        ["a", "b", "c", "d", "e"], [0, 0, 1, 2, 1]
+    )
+
+
+class TestClusterAssignment:
+    def test_num_clusters(self, assignment):
+        assert assignment.num_clusters == 3
+
+    def test_members(self, assignment):
+        assert assignment.members(0) == ["a", "b"]
+        assert assignment.members(1) == ["c", "e"]
+
+    def test_cluster_of(self, assignment):
+        assert assignment.cluster_of("d") == 2
+
+    def test_cluster_of_unknown(self, assignment):
+        with pytest.raises(DataError):
+            assignment.cluster_of("zzz")
+
+    def test_non_singleton_clusters(self, assignment):
+        non_singleton = assignment.non_singleton_clusters()
+        assert set(non_singleton) == {0, 1}
+
+    def test_singleton_items(self, assignment):
+        assert assignment.singleton_items() == ["d"]
+
+    def test_as_dict_covers_all_items(self, assignment):
+        as_dict = assignment.as_dict()
+        assert sorted(name for members in as_dict.values() for name in members) == [
+            "a", "b", "c", "d", "e",
+        ]
+
+    def test_from_labels_remaps_to_contiguous(self):
+        assignment = ClusterAssignment.from_labels(["x", "y", "z"], [10, 5, 10])
+        assert set(assignment.labels.tolist()) == {0, 1}
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(DataError):
+            ClusterAssignment(["a", "b"], [0])
+
+    def test_rejects_negative_labels(self):
+        import numpy as np
+
+        with pytest.raises(DataError):
+            ClusterAssignment(["a"], np.array([-1]))

@@ -1,0 +1,78 @@
+"""Tests for repro.cluster.distance."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import (
+    check_distance_matrix,
+    pairwise_distances,
+    similarity_to_distance,
+)
+from repro.utils.exceptions import DataError
+
+
+class TestPairwiseDistances:
+    def test_euclidean_matches_manual(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_distances(points)
+        assert np.isclose(distances[0, 1], 5.0)
+
+    def test_symmetric_zero_diagonal(self):
+        points = np.random.default_rng(0).normal(size=(6, 4))
+        distances = pairwise_distances(points)
+        assert np.allclose(distances, distances.T)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_sqeuclidean(self):
+        points = np.array([[0.0], [2.0]])
+        assert pairwise_distances(points, metric="sqeuclidean")[0, 1] == 4.0
+
+    def test_cosine_orthogonal_vectors(self):
+        points = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert np.isclose(pairwise_distances(points, metric="cosine")[0, 1], 1.0)
+
+    def test_cityblock(self):
+        points = np.array([[0.0, 0.0], [1.0, 2.0]])
+        assert pairwise_distances(points, metric="cityblock")[0, 1] == 3.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(DataError):
+            pairwise_distances(np.ones((2, 2)), metric="mahalanobis")
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            pairwise_distances(np.ones(4))
+
+
+class TestSimilarityToDistance:
+    def test_conversion(self):
+        similarity = np.array([[1.0, 0.8], [0.8, 1.0]])
+        distance = similarity_to_distance(similarity)
+        assert np.isclose(distance[0, 1], 0.2)
+        assert np.allclose(np.diag(distance), 0.0)
+
+    def test_clips_negative_distances(self):
+        similarity = np.array([[1.0, 1.2], [1.2, 1.0]])
+        assert similarity_to_distance(similarity).min() >= 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DataError):
+            similarity_to_distance(np.ones((2, 3)))
+
+
+class TestCheckDistanceMatrix:
+    def test_accepts_valid(self):
+        matrix = pairwise_distances(np.random.default_rng(0).normal(size=(4, 2)))
+        assert check_distance_matrix(matrix).shape == (4, 4)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(DataError):
+            check_distance_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(DataError):
+            check_distance_matrix(np.array([[1.0, 0.5], [0.5, 0.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(DataError):
+            check_distance_matrix(np.array([[0.0, -0.5], [-0.5, 0.0]]))

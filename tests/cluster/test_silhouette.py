@@ -1,0 +1,55 @@
+"""Tests for the silhouette coefficient."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.distance import pairwise_distances
+from repro.cluster.silhouette import silhouette_samples, silhouette_score
+from repro.utils.exceptions import DataError
+
+
+def blob_distances_and_labels(rng, separation):
+    points = np.vstack(
+        [rng.normal(size=(10, 2)), separation + rng.normal(size=(10, 2))]
+    )
+    labels = np.array([0] * 10 + [1] * 10)
+    return pairwise_distances(points), labels
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        distances, labels = blob_distances_and_labels(np.random.default_rng(0), 20.0)
+        assert silhouette_score(distances, labels) > 0.8
+
+    def test_random_labels_score_low(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(30, 3))
+        distances = pairwise_distances(points)
+        labels = rng.integers(0, 2, size=30)
+        assert silhouette_score(distances, labels) < 0.3
+
+    def test_better_separation_scores_higher(self):
+        close, labels = blob_distances_and_labels(np.random.default_rng(2), 2.0)
+        far, _ = blob_distances_and_labels(np.random.default_rng(2), 20.0)
+        assert silhouette_score(far, labels) > silhouette_score(close, labels)
+
+    def test_values_in_range(self):
+        distances, labels = blob_distances_and_labels(np.random.default_rng(3), 5.0)
+        values = silhouette_samples(distances, labels)
+        assert np.all(values >= -1.0) and np.all(values <= 1.0)
+
+    def test_singleton_cluster_gets_zero(self):
+        distances = pairwise_distances(np.array([[0.0], [0.1], [5.0]]))
+        labels = np.array([0, 0, 1])
+        values = silhouette_samples(distances, labels)
+        assert values[2] == 0.0
+
+    def test_requires_two_clusters(self):
+        distances = pairwise_distances(np.ones((4, 2)))
+        with pytest.raises(DataError):
+            silhouette_score(distances, np.zeros(4, dtype=int))
+
+    def test_rejects_misaligned_labels(self):
+        distances = pairwise_distances(np.random.default_rng(4).normal(size=(4, 2)))
+        with pytest.raises(DataError):
+            silhouette_score(distances, np.array([0, 1]))

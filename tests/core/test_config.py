@@ -1,0 +1,99 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    ClusteringConfig,
+    FineSelectionConfig,
+    PipelineConfig,
+    RecallConfig,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestClusteringConfig:
+    def test_defaults(self):
+        config = ClusteringConfig()
+        assert config.method == "hierarchical"
+        assert config.similarity == "performance"
+        assert config.top_k == 5
+
+    def test_kmeans_requires_num_clusters(self):
+        with pytest.raises(ConfigurationError):
+            ClusteringConfig(method="kmeans")
+        ClusteringConfig(method="kmeans", num_clusters=5)
+
+    def test_invalid_method(self):
+        with pytest.raises(ConfigurationError):
+            ClusteringConfig(method="dbscan")
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ConfigurationError):
+            ClusteringConfig(similarity="embedding")
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ConfigurationError):
+            ClusteringConfig(threshold_quantile=1.5)
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ConfigurationError):
+            ClusteringConfig(top_k=0)
+
+
+class TestRecallConfig:
+    def test_defaults_match_paper(self):
+        config = RecallConfig()
+        assert config.proxy_score == "leep"
+        assert config.top_k == 10
+        assert config.proxy_epoch_cost == 0.5
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ConfigurationError):
+            RecallConfig(top_k=0)
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ConfigurationError):
+            RecallConfig(max_proxy_samples=0)
+
+    def test_invalid_epoch_cost(self):
+        with pytest.raises(ConfigurationError):
+            RecallConfig(proxy_epoch_cost=-1)
+
+
+class TestFineSelectionConfig:
+    def test_defaults(self):
+        config = FineSelectionConfig()
+        assert config.total_epochs == 5
+        assert config.threshold == 0.0
+        assert config.use_trend_filter
+
+    def test_interval_cannot_exceed_budget(self):
+        with pytest.raises(ConfigurationError):
+            FineSelectionConfig(total_epochs=2, validation_interval=3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            FineSelectionConfig(threshold=-0.1)
+
+    def test_invalid_num_trends(self):
+        with pytest.raises(ConfigurationError):
+            FineSelectionConfig(num_trends=0)
+
+
+class TestPipelineConfig:
+    def test_for_modality_sets_epochs(self):
+        nlp = PipelineConfig.for_modality("nlp")
+        cv = PipelineConfig.for_modality("cv")
+        assert nlp.offline_epochs == 5
+        assert nlp.fine_selection.total_epochs == 5
+        assert cv.offline_epochs == 4
+        assert cv.fine_selection.total_epochs == 4
+
+    def test_invalid_offline_epochs(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(offline_epochs=0)
+
+    def test_default_subconfigs(self):
+        config = PipelineConfig()
+        assert isinstance(config.clustering, ClusteringConfig)
+        assert isinstance(config.recall, RecallConfig)

@@ -1,0 +1,126 @@
+"""Tests for repro.core.performance (the performance matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.core.performance import PerformanceMatrix, build_performance_matrix
+from repro.utils.exceptions import DataError
+from repro.zoo.finetune import LearningCurve
+
+
+class TestPerformanceMatrixStructure:
+    def test_shape_matches_hub_and_suite(self, nlp_matrix_small, nlp_hub_small, nlp_suite_small):
+        assert nlp_matrix_small.values.shape == (
+            len(nlp_suite_small.benchmark_names),
+            len(nlp_hub_small),
+        )
+        assert nlp_matrix_small.model_names == nlp_hub_small.model_names
+        assert nlp_matrix_small.dataset_names == nlp_suite_small.benchmark_names
+
+    def test_values_are_valid_accuracies(self, nlp_matrix_small):
+        assert np.all(nlp_matrix_small.values >= 0.0)
+        assert np.all(nlp_matrix_small.values <= 1.0)
+
+    def test_curves_recorded_for_every_cell(self, nlp_matrix_small):
+        expected = len(nlp_matrix_small.model_names) * len(nlp_matrix_small.dataset_names)
+        assert len(nlp_matrix_small.curves) == expected
+
+    def test_value_lookup_matches_curve(self, nlp_matrix_small):
+        model = nlp_matrix_small.model_names[0]
+        dataset = nlp_matrix_small.dataset_names[0]
+        assert nlp_matrix_small.value(dataset, model) == pytest.approx(
+            nlp_matrix_small.curve(model, dataset).final_test
+        )
+
+    def test_model_vector(self, nlp_matrix_small):
+        vector = nlp_matrix_small.model_vector("bert-base-uncased")
+        assert vector.shape == (len(nlp_matrix_small.dataset_names),)
+
+    def test_average_accuracy(self, nlp_matrix_small):
+        average = nlp_matrix_small.average_accuracy("bert-base-uncased")
+        assert np.isclose(average, nlp_matrix_small.model_vector("bert-base-uncased").mean())
+
+    def test_best_model_for(self, nlp_matrix_small):
+        dataset = nlp_matrix_small.dataset_names[0]
+        best = nlp_matrix_small.best_model_for(dataset)
+        row = nlp_matrix_small.values[0]
+        assert nlp_matrix_small.value(dataset, best) == row.max()
+
+    def test_unknown_lookups_raise(self, nlp_matrix_small):
+        with pytest.raises(DataError):
+            nlp_matrix_small.value("nope", "bert-base-uncased")
+        with pytest.raises(DataError):
+            nlp_matrix_small.model_vector("nope")
+        with pytest.raises(DataError):
+            nlp_matrix_small.curve("bert-base-uncased", "nope")
+
+    def test_curves_for_model(self, nlp_matrix_small):
+        curves = nlp_matrix_small.curves_for_model("roberta-base")
+        assert set(curves) == set(nlp_matrix_small.dataset_names)
+
+    def test_submatrix(self, nlp_matrix_small):
+        sub = nlp_matrix_small.submatrix(["bert-base-uncased", "roberta-base"])
+        assert sub.model_names == ["bert-base-uncased", "roberta-base"]
+        assert sub.values.shape[1] == 2
+        assert np.allclose(
+            sub.model_vector("roberta-base"),
+            nlp_matrix_small.model_vector("roberta-base"),
+        )
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(DataError):
+            PerformanceMatrix(["d1"], ["m1", "m2"], np.zeros((2, 2)))
+
+
+class TestSerialization:
+    def test_json_round_trip(self, nlp_matrix_small):
+        restored = PerformanceMatrix.from_json(nlp_matrix_small.to_json())
+        assert restored.model_names == nlp_matrix_small.model_names
+        assert restored.dataset_names == nlp_matrix_small.dataset_names
+        assert np.allclose(restored.values, nlp_matrix_small.values)
+        model = nlp_matrix_small.model_names[0]
+        dataset = nlp_matrix_small.dataset_names[0]
+        assert restored.curve(model, dataset).val_accuracy == nlp_matrix_small.curve(
+            model, dataset
+        ).val_accuracy
+
+    def test_from_dict_without_curves(self):
+        matrix = PerformanceMatrix.from_dict(
+            {
+                "dataset_names": ["d1"],
+                "model_names": ["m1"],
+                "values": [[0.5]],
+            }
+        )
+        assert matrix.value("d1", "m1") == 0.5
+
+
+class TestBuilder:
+    def test_strong_models_have_higher_average(self, nlp_matrix_small):
+        strong = nlp_matrix_small.average_accuracy("roberta-base")
+        weak = nlp_matrix_small.average_accuracy(
+            "CAMeL-Lab/bert-base-arabic-camelbert-mix-did-nadi"
+        )
+        assert strong > weak
+
+    def test_subsampled_training_fraction(self, nlp_hub_small, nlp_suite_small, fine_tuner):
+        matrix = build_performance_matrix(
+            nlp_hub_small.subset(["bert-base-uncased"]),
+            nlp_suite_small,
+            fine_tuner=fine_tuner,
+            epochs=1,
+            train_fraction=0.5,
+            benchmark_names=["sst2"],
+        )
+        assert matrix.values.shape == (1, 1)
+
+    def test_benchmark_names_filter(self, nlp_hub_small, nlp_suite_small, fine_tuner):
+        matrix = build_performance_matrix(
+            nlp_hub_small.subset(["bert-base-uncased", "roberta-base"]),
+            nlp_suite_small,
+            fine_tuner=fine_tuner,
+            epochs=1,
+            benchmark_names=["sst2", "cola"],
+        )
+        assert matrix.dataset_names == ["sst2", "cola"]
+        assert matrix.epochs == 1

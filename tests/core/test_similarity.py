@@ -1,0 +1,91 @@
+"""Tests for repro.core.similarity (Eq. 1 and the text baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (
+    pairwise_model_similarity,
+    performance_similarity,
+    performance_similarity_matrix,
+    similarity_matrix_for,
+    text_similarity_matrix,
+)
+from repro.utils.exceptions import ConfigurationError, DataError
+
+
+class TestPerformanceSimilarity:
+    def test_identical_vectors_give_one(self):
+        vector = np.array([0.5, 0.6, 0.7])
+        assert performance_similarity(vector, vector) == 1.0
+
+    def test_known_value(self):
+        a = np.array([0.5, 0.9, 0.4, 0.8])
+        b = np.array([0.5, 0.5, 0.5, 0.5])
+        # top-2 differences: 0.4 and 0.3 -> 1 - 0.35
+        assert np.isclose(performance_similarity(a, b, top_k=2), 0.65)
+
+    def test_uses_largest_differences(self):
+        a = np.array([0.9, 0.5, 0.5, 0.5])
+        b = np.array([0.1, 0.5, 0.5, 0.5])
+        assert np.isclose(performance_similarity(a, b, top_k=1), 0.2)
+        assert performance_similarity(a, b, top_k=4) > performance_similarity(a, b, top_k=1)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(6), rng.random(6)
+        assert performance_similarity(a, b) == performance_similarity(b, a)
+
+    def test_top_k_larger_than_dimension_clamped(self):
+        a, b = np.array([0.3, 0.4]), np.array([0.5, 0.1])
+        assert np.isfinite(performance_similarity(a, b, top_k=10))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(DataError):
+            performance_similarity(np.ones(3), np.ones(4))
+
+    def test_rejects_invalid_top_k(self):
+        with pytest.raises(ConfigurationError):
+            performance_similarity(np.ones(3), np.ones(3), top_k=0)
+
+
+class TestSimilarityMatrices:
+    def test_performance_matrix_properties(self, nlp_matrix_small):
+        similarity = performance_similarity_matrix(nlp_matrix_small, top_k=5)
+        n = len(nlp_matrix_small.model_names)
+        assert similarity.shape == (n, n)
+        assert np.allclose(np.diag(similarity), 1.0)
+        assert np.allclose(similarity, similarity.T)
+
+    def test_sibling_models_more_similar_than_unrelated(self, nlp_matrix_small):
+        sibling = pairwise_model_similarity(
+            nlp_matrix_small, "Jeevesh8/bert_ft_qqp-68", "Jeevesh8/bert_ft_qqp-9"
+        )
+        unrelated = pairwise_model_similarity(
+            nlp_matrix_small,
+            "Jeevesh8/bert_ft_qqp-68",
+            "CAMeL-Lab/bert-base-arabic-camelbert-mix-did-nadi",
+        )
+        assert sibling > unrelated
+
+    def test_text_similarity_matrix(self, nlp_hub_small):
+        cards = nlp_hub_small.model_cards()
+        similarity = text_similarity_matrix(cards)
+        assert similarity.shape == (len(cards), len(cards))
+        assert np.allclose(np.diag(similarity), 1.0)
+        assert similarity.min() >= 0.0
+
+    def test_text_similarity_rejects_empty(self):
+        with pytest.raises(DataError):
+            text_similarity_matrix({})
+
+    def test_dispatch_performance(self, nlp_matrix_small):
+        out = similarity_matrix_for(nlp_matrix_small, method="performance")
+        assert out.shape[0] == len(nlp_matrix_small.model_names)
+
+    def test_dispatch_text_requires_cards(self, nlp_matrix_small):
+        with pytest.raises(ConfigurationError):
+            similarity_matrix_for(nlp_matrix_small, method="text")
+
+    def test_dispatch_unknown_method(self, nlp_matrix_small):
+        with pytest.raises(ConfigurationError):
+            similarity_matrix_for(nlp_matrix_small, method="embedding")

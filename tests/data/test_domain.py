@@ -1,0 +1,79 @@
+"""Tests for repro.data.domain.DomainSpace."""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import DomainSpace
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def space():
+    return DomainSpace(feature_dim=16, num_concepts=8, modality="nlp", rng=0)
+
+
+class TestConstruction:
+    def test_basis_is_orthonormal(self, space):
+        gram = space.basis @ space.basis.T
+        assert np.allclose(gram, np.eye(space.num_concepts), atol=1e-8)
+
+    def test_rejects_more_concepts_than_features(self):
+        with pytest.raises(ConfigurationError):
+            DomainSpace(feature_dim=4, num_concepts=8)
+
+    def test_rejects_too_few_concepts(self):
+        with pytest.raises(ConfigurationError):
+            DomainSpace(feature_dim=8, num_concepts=1)
+
+    def test_deterministic_given_seed(self):
+        a = DomainSpace(16, 8, rng=3).basis
+        b = DomainSpace(16, 8, rng=3).basis
+        assert np.array_equal(a, b)
+
+
+class TestProjection:
+    def test_project_lift_roundtrip_inside_subspace(self, space):
+        coords = np.random.default_rng(0).normal(size=(5, space.num_concepts))
+        lifted = space.lift(coords)
+        assert np.allclose(space.project(lifted), coords, atol=1e-8)
+
+    def test_project_shape(self, space):
+        out = space.project(np.ones((3, space.feature_dim)))
+        assert out.shape == (3, space.num_concepts)
+
+
+class TestDomainVectors:
+    def test_random_domain_is_normalised(self, space):
+        vector = space.random_domain_vector(np.random.default_rng(0))
+        assert np.all(vector >= 0)
+        assert np.isclose(vector.sum(), 1.0)
+
+    def test_anchor_pulls_towards_anchor(self, space):
+        rng = np.random.default_rng(0)
+        anchor = space.random_domain_vector(rng, concentration=0.4)
+        free = space.random_domain_vector(np.random.default_rng(1))
+        anchored = space.random_domain_vector(
+            np.random.default_rng(1), anchor=anchor, anchor_weight=0.9
+        )
+        assert DomainSpace.domain_affinity(anchored, anchor) > DomainSpace.domain_affinity(
+            free, anchor
+        )
+
+    def test_normalize_rejects_wrong_shape(self, space):
+        with pytest.raises(ConfigurationError):
+            space.normalize_domain(np.ones(3))
+
+    def test_normalize_rejects_zero_mass(self, space):
+        with pytest.raises(ConfigurationError):
+            space.normalize_domain(np.zeros(space.num_concepts))
+
+    def test_affinity_bounds(self, space):
+        rng = np.random.default_rng(2)
+        a = space.random_domain_vector(rng)
+        b = space.random_domain_vector(rng)
+        affinity = DomainSpace.domain_affinity(a, b)
+        assert 0.0 <= affinity <= 1.0
+        assert np.isclose(DomainSpace.domain_affinity(a, a), 1.0)
+
+    def test_affinity_zero_vector(self):
+        assert DomainSpace.domain_affinity(np.zeros(4), np.ones(4)) == 0.0

@@ -1,0 +1,53 @@
+"""Tests for repro.data.splits.DataSplit."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import DataSplit
+from repro.utils.exceptions import DataError
+
+
+class TestValidation:
+    def test_valid_split(self):
+        split = DataSplit(np.ones((4, 3)), np.array([0, 1, 0, 1]))
+        assert len(split) == 4
+        assert split.num_features == 3
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(DataError):
+            DataSplit(np.ones((4, 3)), np.array([0, 1]))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(DataError):
+            DataSplit(np.ones(4), np.array([0, 1, 0, 1]))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(DataError):
+            DataSplit(np.ones((2, 3)), np.array([[0], [1]]))
+
+
+class TestClassCounts:
+    def test_counts(self):
+        split = DataSplit(np.ones((5, 2)), np.array([0, 0, 1, 2, 2]))
+        assert split.class_counts(4).tolist() == [2, 1, 2, 0]
+
+
+class TestSubsample:
+    def test_size(self):
+        split = DataSplit(np.arange(40).reshape(20, 2), np.zeros(20, dtype=int))
+        sub = split.subsample(0.5, np.random.default_rng(0))
+        assert len(sub) == 10
+
+    def test_rows_come_from_original(self):
+        features = np.arange(40).reshape(20, 2)
+        split = DataSplit(features, np.zeros(20, dtype=int))
+        sub = split.subsample(0.3, np.random.default_rng(0))
+        original_rows = {tuple(row) for row in features}
+        assert all(tuple(row) in original_rows for row in sub.features)
+
+    def test_invalid_fraction(self):
+        split = DataSplit(np.ones((4, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(DataError):
+            split.subsample(0.0, np.random.default_rng(0))
+        with pytest.raises(DataError):
+            split.subsample(1.5, np.random.default_rng(0))

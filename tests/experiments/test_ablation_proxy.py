@@ -1,0 +1,39 @@
+"""Tests for the proxy-score ablation experiment."""
+
+import pytest
+
+from repro.experiments import ablation_proxy
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(modality="cv", scale="small", num_models=10)
+
+
+class TestAblationProxy:
+    def test_runs_for_two_proxies(self, context):
+        records = ablation_proxy.run(
+            context, targets=["beans"], top_k=5, proxies=("leep", "knn")
+        )
+        arms = {record["proxy"] for record in records}
+        assert arms == {"leep", "knn", "prior_only"}
+        for record in records:
+            assert 0.0 <= record["avg_recalled_acc"] <= 1.0
+            assert 0.0 <= record["selected_accuracy"] <= 1.0
+            assert record["runtime_epochs"] > 0
+
+    def test_summarize_and_render(self, context):
+        records = ablation_proxy.run(
+            context, targets=["beans"], top_k=5, proxies=("leep",)
+        )
+        summary = ablation_proxy.summarize(records)
+        assert set(summary) == {"leep", "prior_only"}
+        text = ablation_proxy.render(records)
+        assert "Ablation" in text
+        assert "prior_only" in text
+
+    def test_prior_only_ranks_by_average_accuracy(self, context):
+        ranking = ablation_proxy._prior_only_ranking(context, top_k=3)
+        averages = context.matrix.average_accuracies()
+        assert ranking == sorted(averages, key=averages.get, reverse=True)[:3]

@@ -1,0 +1,149 @@
+"""Tests running every experiment module on a reduced context.
+
+These are behavioural smoke tests: each table/figure module must run end to
+end on a small repository, return the expected record structure and render
+to text.  The paper-shape assertions (who wins, by roughly what factor) live
+in the benchmark harness, which runs at full scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1_distribution,
+    fig3_validation_curves,
+    fig4_convergence_groups,
+    fig5_recall_quality,
+    fig6_trend_quality,
+    fig7_selection_quality,
+    table1_clustering_methods,
+    table2_cluster_membership,
+    table3_singleton_vs_non,
+    table4_threshold,
+    table5_runtime,
+    table6_end_to_end,
+    table7_case_study,
+    tablex_topk_parameter,
+)
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def context():
+    """Reduced CV context (CV has the cheaper offline phase: 10 benchmarks)."""
+    return ExperimentContext(modality="cv", scale="small", num_models=12)
+
+
+class TestOfflineExperiments:
+    def test_fig1(self, context):
+        result = fig1_distribution.run(context)
+        assert result["num_models"] == 12
+        assert len(result["accuracies"]) == 12
+        assert result["accuracies"] == sorted(result["accuracies"], reverse=True)
+        assert "Fig. 1" in fig1_distribution.render(result)
+
+    def test_table1(self, context):
+        records = table1_clustering_methods.run({"cv": context})
+        assert len(records) == 4
+        combos = {(r["similarity"], r["method"]) for r in records}
+        assert ("performance", "hierarchical") in combos
+        assert ("text", "kmeans") in combos
+        assert "Table I" in table1_clustering_methods.render(records)
+
+    def test_table2(self, context):
+        records = table2_cluster_membership.run(context)
+        summary = table2_cluster_membership.run_summary(context)
+        assert summary["num_models"] == 12
+        total_members = sum(record["size"] for record in records)
+        assert total_members == summary["num_models_in_non_singleton"]
+        assert "Table II" in table2_cluster_membership.render(records)
+
+    def test_table3(self, context):
+        records = table3_singleton_vs_non.run(context)
+        assert [r["cluster_type"] for r in records] == ["non-singleton", "singleton"]
+        assert sum(r["num_models"] for r in records) == 12
+        total_best = sum(r["num_best_models"] for r in records)
+        assert total_best == len(context.benchmark_names)
+
+    def test_tablex(self, context):
+        records = tablex_topk_parameter.run(context)
+        assert [r["k"] for r in records] == [3, 4, 5]
+        assert "Table X" in tablex_topk_parameter.render(records)
+
+
+class TestConvergenceExperiments:
+    def test_fig4(self, context):
+        result = fig4_convergence_groups.run(context)
+        assert len(result["datasets"]) == len(context.benchmark_names)
+        assert 1 <= result["num_trends"] <= 4
+        assert "Fig. 4" in fig4_convergence_groups.render(result)
+
+    def test_fig6(self, context):
+        subset = context.hub.model_names[:3]
+        records = fig6_trend_quality.run(context, model_names=subset)
+        assert len(records) == 3
+        summary = fig6_trend_quality.summarize(records)
+        assert set(summary) == {
+            "mean_validation_silhouette",
+            "mean_random_silhouette",
+            "mean_trend_prediction_error",
+            "mean_global_mean_error",
+        }
+        assert "Fig. 6" in fig6_trend_quality.render(records)
+
+
+class TestOnlineExperiments:
+    def test_fig3(self, context):
+        result = fig3_validation_curves.run(context, target_name="beans", top_k=4)
+        assert len(result["recalled_models"]) == 4
+        assert set(result["settings"]) == {"default", "low"}
+        assert "Fig. 3/8" in fig3_validation_curves.render(result)
+
+    def test_fig5(self, context):
+        records = fig5_recall_quality.run(
+            context, k_values=(3, 5), num_random_repeats=2, targets=["beans"]
+        )
+        assert len(records) == 2
+        assert all(0 <= r["coarse_recall_avg_acc"] <= 1 for r in records)
+        assert "Fig. 5" in fig5_recall_quality.render(records)
+
+    def test_table4(self, context):
+        records = table4_threshold.run(
+            context, thresholds=(0.0, 0.1), targets=["beans"], top_k=5
+        )
+        assert len(records) == 2
+        runtimes = [r["runtime_epochs"] for r in records]
+        assert runtimes[0] <= runtimes[1]
+        assert "Table IV" in table4_threshold.render(records)
+
+    def test_fig7(self, context):
+        records = fig7_selection_quality.run(
+            context, targets=["beans"], top_k=5, include_full_repository=False
+        )
+        assert len(records) == 1
+        record = records[0]
+        assert record["worst_in_top10"] <= record["best_in_top10"]
+        assert "Fig. 7" in fig7_selection_quality.render(records)
+
+    def test_table5(self, context):
+        records = table5_runtime.run(
+            context, targets=["beans"], top_k=5, include_full_repository=False
+        )
+        by_method = {r["method"]: r for r in records}
+        assert by_method["FS"]["runtime_epochs"] <= by_method["SH"]["runtime_epochs"]
+        assert by_method["SH"]["runtime_epochs"] <= by_method["BF"]["runtime_epochs"]
+        assert "Table V" in table5_runtime.render(records)
+
+    def test_table6(self, context):
+        records = table6_end_to_end.run(context, targets=["beans"], top_k=5)
+        record = records[0]
+        assert record["runtime_2ph"] < record["runtime_bf"]
+        assert record["speedup_vs_bf"] > 1.0
+        assert "Table VI" in table6_end_to_end.render(records)
+
+    def test_table7(self, context):
+        records = table7_case_study.run(context, targets=["beans"], top_k=5)
+        record = records[0]
+        assert record["rank_at_recall"] is not None
+        assert 0 <= record["selected_accuracy"] <= 1
+        assert record["best_accuracy"] >= record["selected_accuracy"] - 1e-9
+        assert "Table VII" in table7_case_study.render(records)

@@ -1,0 +1,31 @@
+"""Tests for the all-experiments runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, render_report, run_all
+
+
+class TestRunnerRegistry:
+    def test_every_paper_item_registered(self):
+        expected = {
+            "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5",
+            "fig6", "table4", "fig7", "table5", "table6", "table7", "tablex",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(only=["table99"], scale="small", modalities=("cv",))
+
+
+class TestRunAll:
+    def test_subset_run_produces_text(self):
+        outputs = run_all(only=["table3", "tablex"], scale="small", modalities=("cv",))
+        assert set(outputs) == {"table3", "tablex"}
+        assert "Table III" in outputs["table3"]
+        assert "Table X" in outputs["tablex"]
+
+    def test_render_report_concatenates(self):
+        report = render_report({"a": "text-a", "b": "text-b"})
+        assert "=== a ===" in report
+        assert "text-b" in report

@@ -1,0 +1,56 @@
+"""Integration tests for the example scripts.
+
+Each example must run end to end (with the ``--small`` flag) and produce the
+output sections its docstring promises.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--small", "--top-k", "6")
+        assert "selected model" in out
+        assert "total cost" in out
+
+    def test_nlp_model_selection(self):
+        out = run_example("nlp_model_selection.py", "--small", "--target", "boolq")
+        assert "brute force" in out
+        assert "two-phase (CR+FS)" in out
+        assert "speedup" in out
+
+    def test_cv_model_selection(self):
+        out = run_example("cv_model_selection.py", "--small", "--target", "beans")
+        assert "Recalled candidates" in out
+        assert "Selected checkpoint" in out
+
+    def test_custom_proxy_score(self):
+        out = run_example("custom_proxy_score.py", "--small")
+        assert "centroid" in out
+        assert "leep" in out
+
+    def test_reproduce_paper_subset(self):
+        out = run_example(
+            "reproduce_paper.py", "--small", "--only", "table3", "--modalities", "cv"
+        )
+        assert "Table III" in out
+        assert "finished in" in out

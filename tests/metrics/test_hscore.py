@@ -1,0 +1,46 @@
+"""Tests for the H-score transferability estimate."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.hscore import HScoreScorer, h_score
+from repro.utils.exceptions import DataError
+
+
+class TestHScore:
+    def test_separated_classes_score_higher(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=200)
+        centers = rng.normal(scale=3.0, size=(3, 6))
+        separated = centers[labels] + rng.normal(size=(200, 6))
+        mixed = rng.normal(size=(200, 6))
+        assert h_score(separated, labels) > h_score(mixed, labels)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(80, 5))
+        labels = rng.integers(0, 2, size=80)
+        assert h_score(features, labels) >= -1e-9
+
+    def test_bounded_by_feature_dimension(self):
+        """trace(cov^-1 cov_between) cannot exceed the feature dimension."""
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 4, size=300)
+        centers = rng.normal(scale=5.0, size=(4, 6))
+        features = centers[labels] + 0.1 * rng.normal(size=(300, 6))
+        assert h_score(features, labels) <= 6.5
+
+    def test_rejects_single_class(self):
+        with pytest.raises(DataError):
+            h_score(np.ones((10, 3)), np.zeros(10, dtype=int))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(DataError):
+            h_score(np.ones((10, 3)), np.zeros(4, dtype=int))
+
+
+class TestHScoreScorer:
+    def test_runs_on_models(self, nlp_hub_small, nlp_suite_small):
+        scorer = HScoreScorer()
+        value = scorer.score(nlp_hub_small.get("bert-base-uncased"), nlp_suite_small.task("mnli"))
+        assert np.isfinite(value) and value >= 0

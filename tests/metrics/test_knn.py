@@ -1,0 +1,58 @@
+"""Tests for the kNN transferability proxy."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.knn import KnnScorer, knn_transfer_accuracy
+from repro.utils.exceptions import ConfigurationError, DataError
+
+
+class TestKnnTransferAccuracy:
+    def test_separable_clusters_score_high(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat([0, 1, 2], 40)
+        centers = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        features = centers[labels] + rng.normal(scale=0.5, size=(120, 2))
+        assert knn_transfer_accuracy(features, labels, k=5) > 0.95
+
+    def test_random_features_near_chance(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 4, size=200)
+        features = rng.normal(size=(200, 8))
+        accuracy = knn_transfer_accuracy(features, labels, k=5)
+        assert accuracy < 0.5
+
+    def test_result_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(30, 4))
+        labels = rng.integers(0, 2, size=30)
+        accuracy = knn_transfer_accuracy(features, labels, k=3)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_k_clamped_to_n_minus_one(self):
+        features = np.array([[0.0], [0.1], [5.0], [5.1]])
+        labels = np.array([0, 0, 1, 1])
+        assert knn_transfer_accuracy(features, labels, k=100) >= 0.0
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(DataError):
+            knn_transfer_accuracy(np.ones((2, 2)), np.array([0, 1]))
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            knn_transfer_accuracy(np.ones((5, 2)), np.zeros(5, dtype=int), k=0)
+
+
+class TestKnnScorer:
+    def test_invalid_k_in_constructor(self):
+        with pytest.raises(ConfigurationError):
+            KnnScorer(k=0)
+
+    def test_ranks_strong_model_higher(self, nlp_hub_small, nlp_suite_small):
+        scorer = KnnScorer(k=5)
+        task = nlp_suite_small.task("mnli")
+        strong = scorer.score(nlp_hub_small.get("roberta-base"), task)
+        weak = scorer.score(
+            nlp_hub_small.get("CAMeL-Lab/bert-base-arabic-camelbert-mix-did-nadi"), task
+        )
+        assert strong > weak

@@ -1,0 +1,95 @@
+"""Tests for the LEEP transferability score."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.leep import LeepScorer, leep_score
+from repro.utils.exceptions import DataError
+
+
+def one_hot(labels, num_classes):
+    matrix = np.zeros((len(labels), num_classes))
+    matrix[np.arange(len(labels)), labels] = 1.0
+    return matrix
+
+
+class TestLeepScore:
+    def test_perfectly_aligned_posterior_is_near_zero(self):
+        """If source classes map 1:1 to target labels, LEEP approaches 0."""
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        posterior = one_hot(labels, 3) * 0.97 + 0.01
+        score = leep_score(posterior, labels)
+        assert score > -0.1
+
+    def test_uninformative_posterior_equals_label_entropy(self):
+        """A constant posterior reduces LEEP to -H(Y)."""
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=300)
+        posterior = np.tile(np.array([0.5, 0.3, 0.2]), (300, 1))
+        score = leep_score(posterior, labels)
+        counts = np.bincount(labels, minlength=3) / 300
+        entropy = -np.sum(counts[counts > 0] * np.log(counts[counts > 0]))
+        assert np.isclose(score, -entropy, atol=1e-6)
+
+    def test_score_is_non_positive(self):
+        rng = np.random.default_rng(1)
+        posterior = rng.dirichlet(np.ones(4), size=50)
+        labels = rng.integers(0, 3, size=50)
+        assert leep_score(posterior, labels) <= 1e-9
+
+    def test_informative_beats_uninformative(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, size=200)
+        informative = one_hot(labels, 2) * 0.8 + 0.1
+        uninformative = rng.dirichlet(np.ones(2), size=200)
+        assert leep_score(informative, labels) > leep_score(uninformative, labels)
+
+    def test_permuted_source_labels_do_not_matter(self):
+        """LEEP is invariant to relabelling the source classes."""
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 3, size=120)
+        posterior = rng.dirichlet(np.ones(5), size=120)
+        permutation = rng.permutation(5)
+        assert np.isclose(
+            leep_score(posterior, labels), leep_score(posterior[:, permutation], labels)
+        )
+
+    def test_rejects_invalid_posterior(self):
+        with pytest.raises(DataError):
+            leep_score(np.array([[0.5, 0.6]]), np.array([0]))
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(DataError):
+            leep_score(np.array([[0.5, 0.5]]), np.array([0, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            leep_score(np.zeros((0, 2)), np.array([], dtype=int))
+
+
+class TestLeepScorer:
+    def test_scorer_on_models(self, nlp_hub_small, nlp_suite_small):
+        """LEEP should rank a matched checkpoint above an out-of-domain one."""
+        scorer = LeepScorer()
+        task = nlp_suite_small.task("mnli")
+        matched = scorer.score(nlp_hub_small.get("ishan/bert-base-uncased-mnli"), task)
+        mismatched = scorer.score(
+            nlp_hub_small.get("CAMeL-Lab/bert-base-arabic-camelbert-mix-did-nadi"), task
+        )
+        assert matched > mismatched
+
+    def test_max_samples_subsampling(self, nlp_hub_small, nlp_suite_small):
+        scorer = LeepScorer()
+        task = nlp_suite_small.task("mnli")
+        model = nlp_hub_small.get("bert-base-uncased")
+        full = scorer.score(model, task)
+        sub = scorer.score(model, task, max_samples=20, rng=np.random.default_rng(0))
+        assert np.isfinite(full) and np.isfinite(sub)
+
+    def test_unknown_split_rejected(self, nlp_hub_small, nlp_suite_small):
+        with pytest.raises(DataError):
+            LeepScorer().score(
+                nlp_hub_small.get("bert-base-uncased"),
+                nlp_suite_small.task("mnli"),
+                split="dev",
+            )

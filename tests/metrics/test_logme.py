@@ -1,0 +1,62 @@
+"""Tests for the LogME transferability score."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.logme import LogMeScorer, log_maximum_evidence
+from repro.utils.exceptions import DataError
+
+
+def make_features(rng, n=120, dim=10, informative=True, noise=0.5):
+    labels = rng.integers(0, 3, size=n)
+    if informative:
+        centers = rng.normal(scale=2.0, size=(3, dim))
+        features = centers[labels] + noise * rng.normal(size=(n, dim))
+    else:
+        features = rng.normal(size=(n, dim))
+    return features, labels
+
+
+class TestLogMe:
+    def test_informative_features_score_higher(self):
+        rng = np.random.default_rng(0)
+        informative, labels = make_features(rng, informative=True)
+        uninformative, _ = make_features(np.random.default_rng(1), informative=False)
+        assert log_maximum_evidence(informative, labels) > log_maximum_evidence(
+            uninformative, labels
+        )
+
+    def test_score_is_finite(self):
+        rng = np.random.default_rng(2)
+        features, labels = make_features(rng)
+        assert np.isfinite(log_maximum_evidence(features, labels))
+
+    def test_less_noise_scores_higher(self):
+        labels = np.random.default_rng(3).integers(0, 3, size=150)
+        centers = np.random.default_rng(4).normal(scale=2.0, size=(3, 8))
+        clean = centers[labels] + 0.2 * np.random.default_rng(5).normal(size=(150, 8))
+        noisy = centers[labels] + 2.0 * np.random.default_rng(6).normal(size=(150, 8))
+        assert log_maximum_evidence(clean, labels) > log_maximum_evidence(noisy, labels)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(DataError):
+            log_maximum_evidence(np.ones((10, 3)), np.zeros(10, dtype=int))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(DataError):
+            log_maximum_evidence(np.ones((10, 3)), np.zeros(5, dtype=int))
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(DataError):
+            log_maximum_evidence(np.ones(10), np.zeros(10, dtype=int))
+
+
+class TestLogMeScorer:
+    def test_ranks_strong_model_higher(self, nlp_hub_small, nlp_suite_small):
+        scorer = LogMeScorer()
+        task = nlp_suite_small.task("mnli")
+        strong = scorer.score(nlp_hub_small.get("roberta-base"), task)
+        weak = scorer.score(
+            nlp_hub_small.get("CAMeL-Lab/bert-base-arabic-camelbert-mix-did-nadi"), task
+        )
+        assert strong > weak

@@ -1,0 +1,64 @@
+"""Tests for the NCE transferability score."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.nce import NceScorer, nce_score
+from repro.utils.exceptions import DataError
+
+
+def one_hot(labels, num_classes):
+    matrix = np.zeros((len(labels), num_classes))
+    matrix[np.arange(len(labels)), labels] = 1.0
+    return matrix
+
+
+class TestNceScore:
+    def test_perfect_alignment_is_zero(self):
+        labels = np.array([0, 1, 2] * 10)
+        posterior = one_hot(labels, 3)
+        assert np.isclose(nce_score(posterior, labels), 0.0, atol=1e-9)
+
+    def test_uninformative_prediction_equals_negative_entropy(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=1000)
+        # Source model always predicts class 0 -> H(Y|Z) = H(Y).
+        posterior = np.tile(np.array([0.9, 0.1]), (1000, 1))
+        counts = np.bincount(labels) / 1000
+        entropy = -np.sum(counts * np.log(counts))
+        assert np.isclose(nce_score(posterior, labels), -entropy, atol=1e-6)
+
+    def test_score_non_positive(self):
+        rng = np.random.default_rng(1)
+        posterior = rng.dirichlet(np.ones(4), size=100)
+        labels = rng.integers(0, 3, size=100)
+        assert nce_score(posterior, labels) <= 1e-12
+
+    def test_more_informative_is_higher(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 3, size=300)
+        informative = one_hot(labels, 3)
+        noisy_labels = labels.copy()
+        flip = rng.random(300) < 0.4
+        noisy_labels[flip] = rng.integers(0, 3, size=int(flip.sum()))
+        noisy = one_hot(noisy_labels, 3)
+        assert nce_score(informative, labels) > nce_score(noisy, labels)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            nce_score(np.zeros((0, 2)), np.array([], dtype=int))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(DataError):
+            nce_score(np.array([[1.0, 0.0]]), np.array([0, 1]))
+
+
+class TestNceScorer:
+    def test_ranks_matched_model_higher(self, nlp_hub_small, nlp_suite_small):
+        scorer = NceScorer()
+        task = nlp_suite_small.task("mnli")
+        matched = scorer.score(nlp_hub_small.get("ishan/bert-base-uncased-mnli"), task)
+        mismatched = scorer.score(
+            nlp_hub_small.get("aliosm/sha3bor-metre-detector-arabertv2-base"), task
+        )
+        assert matched >= mismatched

@@ -1,0 +1,62 @@
+"""Tests for score normalisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.normalization import (
+    min_max_normalize,
+    normalize_score_dict,
+    rank_normalize,
+)
+from repro.utils.exceptions import DataError
+
+
+class TestMinMaxNormalize:
+    def test_maps_to_unit_interval(self):
+        out = min_max_normalize([-3.0, 0.0, 7.0])
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_preserves_ordering(self):
+        values = [0.3, -1.2, 5.0, 2.0]
+        out = min_max_normalize(values)
+        assert np.array_equal(np.argsort(values), np.argsort(out))
+
+    def test_constant_maps_to_ones(self):
+        assert np.array_equal(min_max_normalize([2.0, 2.0, 2.0]), np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            min_max_normalize([])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(DataError):
+            min_max_normalize([1.0, np.inf])
+
+
+class TestRankNormalize:
+    def test_unique_values(self):
+        out = rank_normalize([10.0, 30.0, 20.0])
+        assert np.allclose(out, [0.0, 1.0, 0.5])
+
+    def test_ties_get_average_rank(self):
+        out = rank_normalize([1.0, 1.0, 2.0])
+        assert np.isclose(out[0], out[1])
+
+    def test_single_value(self):
+        assert np.array_equal(rank_normalize([5.0]), np.ones(1))
+
+
+class TestNormalizeScoreDict:
+    def test_minmax_preserves_keys(self):
+        scores = {"a": -1.0, "b": 1.0}
+        out = normalize_score_dict(scores)
+        assert out["a"] == 0.0 and out["b"] == 1.0
+
+    def test_rank_method(self):
+        out = normalize_score_dict({"a": 5.0, "b": 1.0, "c": 3.0}, method="rank")
+        assert out["a"] == 1.0 and out["b"] == 0.0
+
+    def test_unknown_method(self):
+        with pytest.raises(DataError):
+            normalize_score_dict({"a": 1.0}, method="zscore")

@@ -1,0 +1,59 @@
+"""Tests for the proxy-scorer registry."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.base import ProxyScorer
+from repro.metrics.registry import available_scorers, get_scorer, register_scorer
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_builtin_scorers_registered(self):
+        names = available_scorers()
+        for expected in ("leep", "nce", "logme", "hscore", "knn"):
+            assert expected in names
+
+    def test_get_scorer_returns_instances(self):
+        leep_a = get_scorer("leep")
+        leep_b = get_scorer("leep")
+        assert leep_a is not leep_b
+        assert leep_a.name == "leep"
+
+    def test_unknown_scorer(self):
+        with pytest.raises(ConfigurationError):
+            get_scorer("task2vec")
+
+    def test_register_custom_scorer(self):
+        class ConstantScorer(ProxyScorer):
+            name = "constant"
+            uses_source_posterior = False
+
+            def score_arrays(self, inputs, labels, *, num_classes):
+                return 0.5
+
+        register_scorer("constant-test", ConstantScorer, overwrite=True)
+        assert "constant-test" in available_scorers()
+        scorer = get_scorer("constant-test")
+        assert scorer.score_arrays(np.ones((3, 2)), np.array([0, 1, 0]), num_classes=2) == 0.5
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_scorer("leep", lambda: None)
+
+    def test_correlation_with_ground_truth(self, nlp_hub_small, nlp_suite_small, fine_tuner):
+        """LEEP should positively rank-correlate with actual fine-tuning accuracy.
+
+        This is the property the coarse-recall phase relies on.
+        """
+        task = nlp_suite_small.task("mnli")
+        scorer = get_scorer("leep")
+        scores, accuracies = [], []
+        for name in nlp_hub_small.model_names:
+            model = nlp_hub_small.get(name)
+            scores.append(scorer.score(model, task))
+            accuracies.append(fine_tuner.fine_tune(model, task, epochs=3).final_test)
+        score_ranks = np.argsort(np.argsort(scores))
+        accuracy_ranks = np.argsort(np.argsort(accuracies))
+        correlation = np.corrcoef(score_ranks, accuracy_ranks)[0, 1]
+        assert correlation > 0.2

@@ -1,0 +1,171 @@
+"""Tests for repro.nn.layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Linear, Relu, Sequential, Tanh
+from repro.utils.exceptions import ConfigurationError
+
+
+def numerical_gradient(function, x, epsilon=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        index = it.multi_index
+        original = x[index]
+        x[index] = original + epsilon
+        plus = function(x)
+        x[index] = original - epsilon
+        minus = function(x)
+        x[index] = original
+        grad[index] = (plus - minus) / (2 * epsilon)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_rejects_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 3)
+
+    def test_backward_requires_training_forward(self):
+        layer = Linear(4, 3, rng=0)
+        layer.forward(np.ones((2, 4)), training=False)
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.ones((2, 3)))
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+
+        def loss_of_weight(weight):
+            saved = layer.weight.copy()
+            layer.weight = weight
+            value = float(np.sum(layer.forward(x, training=True) * grad_out))
+            layer.weight = saved
+            return value
+
+        layer.forward(x, training=True)
+        layer.backward(grad_out)
+        numeric = numerical_gradient(loss_of_weight, layer.weight.copy())
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+
+        def loss_of_input(inputs):
+            return float(np.sum(layer.forward(inputs, training=True) * grad_out))
+
+        numeric = numerical_gradient(loss_of_input, x.copy())
+        assert np.allclose(grad_in, numeric, atol=1e-4)
+
+    def test_l2_adds_weight_to_gradient(self):
+        rng = np.random.default_rng(2)
+        plain = Linear(3, 2, rng=np.random.default_rng(2))
+        regularised = Linear(3, 2, rng=np.random.default_rng(2), l2=0.5)
+        regularised.weight = plain.weight.copy()
+        x = rng.normal(size=(4, 3))
+        grad_out = np.ones((4, 2))
+        plain.forward(x, training=True)
+        plain.backward(grad_out)
+        regularised.forward(x, training=True)
+        regularised.backward(grad_out)
+        assert np.allclose(
+            regularised.grad_weight, plain.grad_weight + 0.5 * plain.weight
+        )
+
+    def test_params_and_grads_aligned(self):
+        layer = Linear(3, 2, rng=0)
+        layer.forward(np.ones((1, 3)), training=True)
+        layer.backward(np.ones((1, 2)))
+        params, grads = layer.params(), layer.grads()
+        assert len(params) == len(grads) == 2
+        for param, grad in zip(params, grads):
+            assert param.shape == grad.shape
+
+
+class TestActivations:
+    def test_relu_zeros_negative(self):
+        layer = Relu()
+        out = layer.forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, np.array([[0.0, 2.0]]))
+
+    def test_relu_backward_masks(self):
+        layer = Relu()
+        layer.forward(np.array([[-1.0, 2.0]]), training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, np.array([[0.0, 5.0]]))
+
+    def test_tanh_range(self):
+        layer = Tanh()
+        out = layer.forward(np.array([[-10.0, 0.0, 10.0]]))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_tanh_gradient_matches_numerical(self):
+        layer = Tanh()
+        x = np.array([[0.3, -0.7, 1.2]])
+        grad_out = np.array([[1.0, 2.0, -1.0]])
+        layer.forward(x, training=True)
+        grad = layer.backward(grad_out)
+        expected = grad_out * (1 - np.tanh(x) ** 2)
+        assert np.allclose(grad, expected)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ConfigurationError):
+            Relu().backward(np.ones((1, 2)))
+        with pytest.raises(ConfigurationError):
+            Tanh().backward(np.ones((1, 2)))
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((4, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_training_scales_kept_units(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((1000, 1))
+        out = layer.forward(x, training=True)
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        assert 300 < kept.size < 700
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+    def test_zero_rate_is_identity_in_training(self):
+        layer = Dropout(0.0)
+        x = np.ones((3, 3))
+        assert np.array_equal(layer.forward(x, training=True), x)
+
+
+class TestSequential:
+    def test_forward_composes_layers(self):
+        net = Sequential([Linear(4, 8, rng=0), Relu(), Linear(8, 2, rng=1)])
+        out = net.forward(np.ones((3, 4)))
+        assert out.shape == (3, 2)
+
+    def test_params_collects_all_layers(self):
+        net = Sequential([Linear(4, 8, rng=0), Relu(), Linear(8, 2, rng=1)])
+        assert len(net.params()) == 4
+
+    def test_backward_shape(self):
+        net = Sequential([Linear(4, 8, rng=0), Tanh(), Linear(8, 2, rng=1)])
+        net.forward(np.ones((3, 4)), training=True)
+        grad = net.backward(np.ones((3, 2)))
+        assert grad.shape == (3, 4)

@@ -1,0 +1,64 @@
+"""Tests for repro.nn.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, confusion_matrix, macro_f1, top_k_accuracy
+from repro.utils.exceptions import DataError
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 0])) == 0.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]), 2)
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_total_equals_samples(self):
+        y_true = np.array([0, 1, 2, 1, 0])
+        y_pred = np.array([0, 2, 2, 1, 1])
+        assert confusion_matrix(y_true, y_pred, 3).sum() == 5
+
+
+class TestMacroF1:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(y, y, 3) == 1.0
+
+    def test_absent_class_skipped(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 1])
+        assert macro_f1(y_true, y_pred, 3) == 1.0
+
+    def test_all_wrong_is_zero(self):
+        assert macro_f1(np.array([0, 1]), np.array([1, 0]), 2) == 0.0
+
+
+class TestTopKAccuracy:
+    def test_top1_matches_accuracy(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.7, 0.3]])
+        y = np.array([0, 1, 1])
+        assert np.isclose(top_k_accuracy(y, scores, 1), 2 / 3)
+
+    def test_top_k_equal_classes_is_one(self):
+        scores = np.random.default_rng(0).normal(size=(5, 3))
+        y = np.array([0, 1, 2, 0, 1])
+        assert top_k_accuracy(y, scores, 3) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(DataError):
+            top_k_accuracy(np.array([0]), np.array([[0.5, 0.5]]), 0)

@@ -1,0 +1,82 @@
+"""Tests for repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adam, Momentum, build_optimizer
+from repro.utils.exceptions import ConfigurationError
+
+
+def quadratic_descent(optimizer, steps=200):
+    """Minimise f(x) = ||x||^2 / 2 and return the final parameter."""
+    x = np.array([5.0, -3.0])
+    params = [x]
+    for _ in range(steps):
+        grads = [x.copy()]
+        optimizer.step(params, grads)
+    return params[0]
+
+
+class TestSGD:
+    def test_single_step(self):
+        x = np.array([1.0, 2.0])
+        SGD(0.1).step([x], [np.array([1.0, 1.0])])
+        assert np.allclose(x, [0.9, 1.9])
+
+    def test_converges_on_quadratic(self):
+        assert np.linalg.norm(quadratic_descent(SGD(0.1))) < 1e-3
+
+    def test_rejects_misaligned_lists(self):
+        with pytest.raises(ConfigurationError):
+            SGD(0.1).step([np.zeros(2)], [])
+
+    def test_rejects_non_positive_lr(self):
+        with pytest.raises(ConfigurationError):
+            SGD(0.0)
+
+
+class TestMomentum:
+    def test_converges_on_quadratic(self):
+        assert np.linalg.norm(quadratic_descent(Momentum(0.05, 0.9))) < 1e-3
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            Momentum(0.1, momentum=1.0)
+
+    def test_momentum_accelerates_early_progress(self):
+        def run(optimizer, steps=10):
+            x = np.array([10.0])
+            for _ in range(steps):
+                optimizer.step([x], [x.copy()])
+            return abs(float(x[0]))
+
+        assert run(Momentum(0.05, 0.9)) < run(SGD(0.05))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert np.linalg.norm(quadratic_descent(Adam(0.3), steps=400)) < 1e-2
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam(0.1, beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(0.1, beta2=-0.1)
+
+    def test_state_shapes_follow_params(self):
+        optimizer = Adam(0.01)
+        params = [np.zeros((3, 2)), np.zeros(5)]
+        grads = [np.ones((3, 2)), np.ones(5)]
+        optimizer.step(params, grads)
+        assert optimizer._m[0].shape == (3, 2)
+        assert optimizer._v[1].shape == (5,)
+
+
+class TestBuildOptimizer:
+    @pytest.mark.parametrize("name,cls", [("sgd", SGD), ("momentum", Momentum), ("adam", Adam)])
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(build_optimizer(name, 0.1), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            build_optimizer("lbfgs", 0.1)

@@ -1,0 +1,93 @@
+"""Property-based tests for the clustering substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster.distance import pairwise_distances, similarity_to_distance
+from repro.cluster.hierarchical import AgglomerativeClustering
+from repro.cluster.kmeans import KMeans
+from repro.cluster.silhouette import silhouette_samples
+
+
+@st.composite
+def point_sets(draw, min_points=4, max_points=25, max_dim=5):
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    return draw(
+        hnp.arrays(
+            dtype=float,
+            shape=(n, dim),
+            elements=st.floats(min_value=-10.0, max_value=10.0),
+        )
+    )
+
+
+class TestDistanceProperties:
+    @given(point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_distance_matrix_axioms(self, points):
+        distances = pairwise_distances(points)
+        assert np.allclose(distances, distances.T, atol=1e-8)
+        assert np.allclose(np.diag(distances), 0.0, atol=1e-8)
+        assert np.all(distances >= -1e-9)
+
+    @given(point_sets(min_points=3, max_points=12))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_euclidean(self, points):
+        distances = pairwise_distances(points, metric="euclidean")
+        n = distances.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert distances[i, j] <= distances[i, k] + distances[k, j] + 1e-6
+
+    @given(
+        hnp.arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(2, 10), st.integers(2, 10)).filter(
+                lambda shape: shape[0] == shape[1]
+            ),
+            elements=st.floats(min_value=0.0, max_value=1.0),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_to_distance_range(self, similarity):
+        similarity = (similarity + similarity.T) / 2
+        np.fill_diagonal(similarity, 1.0)
+        distance = similarity_to_distance(similarity)
+        assert np.all(distance >= 0.0)
+        assert np.allclose(np.diag(distance), 0.0)
+
+
+class TestClusteringProperties:
+    @given(point_sets(min_points=5), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_kmeans_label_contract(self, points, num_clusters):
+        num_clusters = min(num_clusters, points.shape[0])
+        labels = KMeans(num_clusters, rng=0, num_init=2, max_iter=30).fit_predict(points)
+        assert labels.shape == (points.shape[0],)
+        assert len(set(labels.tolist())) <= num_clusters
+        assert labels.min() >= 0
+
+    @given(point_sets(min_points=4, max_points=15), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_hierarchical_respects_num_clusters(self, points, num_clusters):
+        num_clusters = min(num_clusters, points.shape[0])
+        distances = pairwise_distances(points)
+        labels = AgglomerativeClustering(num_clusters=num_clusters).fit_predict(distances)
+        # Exactly the requested number of clusters (merging can always continue
+        # down to the target because every pair has a finite distance).
+        assert len(set(labels.tolist())) == num_clusters
+
+    @given(point_sets(min_points=6, max_points=20))
+    @settings(max_examples=30, deadline=None)
+    def test_silhouette_values_bounded(self, points):
+        distances = pairwise_distances(points)
+        labels = KMeans(2, rng=0, num_init=2, max_iter=30).fit_predict(points)
+        if len(set(labels.tolist())) < 2:
+            return
+        values = silhouette_samples(distances, labels)
+        assert np.all(values >= -1.0 - 1e-9)
+        assert np.all(values <= 1.0 + 1e-9)

@@ -1,0 +1,89 @@
+"""Property-based tests for convergence trends and selection invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import ConvergenceTrendMiner
+from repro.zoo.finetune import LearningCurve
+
+
+@st.composite
+def curve_collections(draw, min_datasets=3, max_datasets=12, epochs=3):
+    num_datasets = draw(st.integers(min_value=min_datasets, max_value=max_datasets))
+    curves = {}
+    for index in range(num_datasets):
+        vals = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=epochs,
+                max_size=epochs,
+            )
+        )
+        tests = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0),
+                min_size=epochs,
+                max_size=epochs,
+            )
+        )
+        curves[f"dataset{index}"] = LearningCurve(
+            model_name="model",
+            dataset_name=f"dataset{index}",
+            val_accuracy=list(vals),
+            test_accuracy=list(tests),
+        )
+    return curves
+
+
+class TestTrendMiningProperties:
+    @given(curve_collections(), st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_trend_partition_covers_all_datasets(self, curves, num_trends, stage):
+        miner = ConvergenceTrendMiner(num_trends=num_trends)
+        trend_set = miner.mine("model", curves, stage=stage)
+        labels = trend_set.trend_labels()
+        assert set(labels) == set(curves)
+        assert 1 <= len(trend_set.trends) <= min(num_trends, len(curves))
+        # Trends are ordered by validation accuracy.
+        vals = [trend.val_accuracy for trend in trend_set.trends]
+        assert vals == sorted(vals)
+
+    @given(curve_collections(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_prediction_is_a_convex_combination_of_final_tests(self, curves, query):
+        miner = ConvergenceTrendMiner(num_trends=3)
+        trend_set = miner.mine("model", curves, stage=1)
+        prediction = trend_set.predict(query)
+        finals = [curve.final_test for curve in curves.values()]
+        assert min(finals) - 1e-9 <= prediction <= max(finals) + 1e-9
+
+    @given(curve_collections(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_matched_trend_minimises_validation_distance(self, curves, query):
+        miner = ConvergenceTrendMiner(num_trends=3)
+        trend_set = miner.mine("model", curves, stage=1)
+        matched = trend_set.match(query)
+        best_distance = min(abs(trend.val_accuracy - query) for trend in trend_set.trends)
+        assert abs(matched.val_accuracy - query) == best_distance
+
+
+class TestHalvingScheduleProperties:
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_halving_epoch_count_formula(self, num_models, num_stages):
+        """The SH epoch count implied by floor-halving matches a closed form
+        simulation (this pins the runtime accounting used in Tables V/VI)."""
+        survivors = num_models
+        total = 0
+        for _ in range(num_stages):
+            total += survivors
+            if survivors > 1:
+                survivors = max(1, survivors // 2)
+        # The schedule is bounded below by the final full training of the
+        # winner and above by brute force.
+        assert total >= num_stages
+        assert total <= num_models * num_stages
+        # Survivors reach 1 after enough stages.
+        if num_stages >= int(np.ceil(np.log2(max(num_models, 1)))) + 1:
+            assert survivors == 1

@@ -1,0 +1,63 @@
+"""Tests for repro.text.embedding."""
+
+import numpy as np
+import pytest
+
+from repro.text.embedding import TextEmbedder, cosine_similarity, cosine_similarity_matrix
+from repro.utils.exceptions import DataError
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert np.isclose(cosine_similarity(np.array([1.0, 2.0]), np.array([1.0, 2.0])), 1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            cosine_similarity(np.ones(2), np.ones(3))
+
+    def test_matrix_diagonal_is_one(self):
+        rows = np.random.default_rng(0).normal(size=(5, 4))
+        similarity = cosine_similarity_matrix(rows)
+        assert np.allclose(np.diag(similarity), 1.0)
+        assert np.allclose(similarity, similarity.T)
+
+
+class TestTextEmbedder:
+    DOCS = {
+        "bert-qqp": "bert model fine-tuned on the qqp paraphrase dataset",
+        "bert-cola": "bert model fine-tuned on the cola acceptability dataset",
+        "vit": "vision transformer pre-trained on imagenet images",
+    }
+
+    def test_similarity_reflects_content(self):
+        embedder = TextEmbedder().fit(self.DOCS)
+        assert embedder.similarity("bert-qqp", "bert-cola") > embedder.similarity(
+            "bert-qqp", "vit"
+        )
+
+    def test_similarity_matrix_shape(self):
+        embedder = TextEmbedder().fit(self.DOCS)
+        assert embedder.similarity_matrix().shape == (3, 3)
+
+    def test_names_preserved_in_order(self):
+        embedder = TextEmbedder().fit(self.DOCS)
+        assert list(embedder.names) == list(self.DOCS.keys())
+
+    def test_unknown_name_rejected(self):
+        embedder = TextEmbedder().fit(self.DOCS)
+        with pytest.raises(DataError):
+            embedder.similarity("bert-qqp", "unknown")
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(DataError):
+            TextEmbedder().embeddings()
+
+    def test_empty_documents_rejected(self):
+        with pytest.raises(DataError):
+            TextEmbedder().fit({})

@@ -1,0 +1,29 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils.exceptions import (
+    ConfigurationError,
+    DataError,
+    HubError,
+    ReproError,
+    SelectionError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [ConfigurationError, DataError, HubError, SelectionError],
+)
+def test_all_errors_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+
+
+def test_errors_carry_messages():
+    error = SelectionError("empty candidate pool")
+    assert "empty candidate pool" in str(error)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(ReproError):
+        raise DataError("bad shape")

@@ -1,0 +1,43 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("step"):
+            time.sleep(0.01)
+        with watch.measure("step"):
+            time.sleep(0.01)
+        assert watch.counts["step"] == 2
+        assert watch.timings["step"] >= 0.015
+
+    def test_total_sums_sections(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            pass
+        with watch.measure("b"):
+            pass
+        assert watch.total() == watch.timings["a"] + watch.timings["b"]
+
+    def test_report_lines_sorted_by_name(self):
+        watch = Stopwatch()
+        with watch.measure("zeta"):
+            pass
+        with watch.measure("alpha"):
+            pass
+        lines = watch.report_lines()
+        assert len(lines) == 2
+        assert lines[0].startswith("alpha")
+
+    def test_exception_still_recorded(self):
+        watch = Stopwatch()
+        try:
+            with watch.measure("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert "failing" in watch.timings

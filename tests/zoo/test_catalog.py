@@ -1,0 +1,82 @@
+"""Tests for repro.zoo.catalog."""
+
+import pytest
+
+from repro.utils.exceptions import ConfigurationError
+from repro.zoo.catalog import (
+    ModelCatalogEntry,
+    catalog_for_modality,
+    cv_catalog,
+    nlp_catalog,
+)
+
+
+class TestCatalogueContents:
+    def test_repository_sizes_match_paper(self):
+        assert len(nlp_catalog()) == 40
+        assert len(cv_catalog()) == 30
+
+    def test_names_are_unique(self):
+        names = [entry.name for entry in nlp_catalog() + cv_catalog()]
+        assert len(names) == len(set(names))
+
+    def test_modalities_are_consistent(self):
+        assert all(entry.modality == "nlp" for entry in nlp_catalog())
+        assert all(entry.modality == "cv" for entry in cv_catalog())
+
+    def test_paper_checkpoints_present(self):
+        nlp_names = {entry.name for entry in nlp_catalog()}
+        assert "bert-base-uncased" in nlp_names
+        assert "roberta-base" in nlp_names
+        assert "ishan/bert-base-uncased-mnli" in nlp_names
+        cv_names = {entry.name for entry in cv_catalog()}
+        assert "google/vit-base-patch16-224" in cv_names
+        assert "microsoft/beit-base-patch16-224" in cv_names
+
+    def test_finetune_datasets_reference_known_names(self):
+        from repro.data.workloads import nlp_suite, cv_suite, DataScale
+
+        nlp_names = set(nlp_suite(scale=DataScale.small()).dataset_names)
+        cv_names = set(cv_suite(scale=DataScale.small()).dataset_names)
+        for entry in nlp_catalog():
+            assert set(entry.finetune_datasets) <= nlp_names
+        for entry in cv_catalog():
+            assert set(entry.finetune_datasets) <= cv_names
+
+    def test_quality_range(self):
+        for entry in nlp_catalog() + cv_catalog():
+            assert 0.0 < entry.quality <= 1.0
+
+    def test_families_group_sibling_checkpoints(self):
+        families = {}
+        for entry in nlp_catalog():
+            families.setdefault(entry.family, []).append(entry.name)
+        assert len(families["bert-ft-qqp"]) >= 4
+        assert len(families["bert-ft-cola"]) >= 3
+
+
+class TestEntryValidation:
+    def test_short_name_strips_repository(self):
+        entry = nlp_catalog()[0]
+        assert "/" not in entry.short_name
+
+    def test_rejects_bad_modality(self):
+        with pytest.raises(ConfigurationError):
+            ModelCatalogEntry(name="x", modality="audio", architecture="a", family="f", quality=0.5)
+
+    def test_rejects_bad_quality(self):
+        with pytest.raises(ConfigurationError):
+            ModelCatalogEntry(name="x", modality="nlp", architecture="a", family="f", quality=1.5)
+
+    def test_rejects_bad_finetune_weight(self):
+        with pytest.raises(ConfigurationError):
+            ModelCatalogEntry(
+                name="x", modality="nlp", architecture="a", family="f",
+                quality=0.5, finetune_weight=1.0,
+            )
+
+    def test_catalog_for_modality_dispatch(self):
+        assert catalog_for_modality("nlp") == nlp_catalog()
+        assert catalog_for_modality("cv") == cv_catalog()
+        with pytest.raises(ConfigurationError):
+            catalog_for_modality("audio")

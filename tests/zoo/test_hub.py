@@ -1,0 +1,74 @@
+"""Tests for repro.zoo.hub.ModelHub."""
+
+import numpy as np
+import pytest
+
+from repro.data.workloads import DataScale, cv_suite, nlp_suite
+from repro.utils.exceptions import HubError
+from repro.zoo.hub import ModelHub
+
+
+class TestConstruction:
+    def test_full_hub_sizes(self):
+        nlp_hub = ModelHub(nlp_suite(seed=0, scale=DataScale.small()))
+        cv_hub = ModelHub(cv_suite(seed=0, scale=DataScale.small()))
+        assert len(nlp_hub) == 40
+        assert len(cv_hub) == 30
+
+    def test_subset(self, nlp_hub_small):
+        sub = nlp_hub_small.subset(["bert-base-uncased", "roberta-base"])
+        assert sub.model_names == ["bert-base-uncased", "roberta-base"]
+
+    def test_unknown_model(self, nlp_hub_small):
+        with pytest.raises(HubError):
+            nlp_hub_small.get("not-a-model")
+        with pytest.raises(HubError):
+            nlp_hub_small.entry("not-a-model")
+
+    def test_contains(self, nlp_hub_small):
+        assert "bert-base-uncased" in nlp_hub_small
+        assert "nonexistent" not in nlp_hub_small
+
+    def test_modality_mismatch_rejected(self):
+        suite = nlp_suite(seed=0, scale=DataScale.small())
+        from repro.zoo.catalog import cv_catalog
+
+        with pytest.raises(HubError):
+            ModelHub(suite, entries=cv_catalog()[:2])
+
+
+class TestModelConstruction:
+    def test_models_are_cached(self, nlp_hub_small):
+        assert nlp_hub_small.get("bert-base-uncased") is nlp_hub_small.get("bert-base-uncased")
+
+    def test_model_reproducible_across_hub_instances(self, nlp_suite_small):
+        hub_a = ModelHub(nlp_suite_small, seed=0).subset(["bert-base-uncased"])
+        hub_b = ModelHub(nlp_suite_small, seed=0).subset(["bert-base-uncased"])
+        features = nlp_suite_small.task("sst2").train.features[:5]
+        assert np.allclose(
+            hub_a.get("bert-base-uncased").encode(features),
+            hub_b.get("bert-base-uncased").encode(features),
+        )
+
+    def test_different_seed_changes_models(self, nlp_suite_small):
+        features = nlp_suite_small.task("sst2").train.features[:5]
+        a = ModelHub(nlp_suite_small, seed=0).get("bert-base-uncased").encode(features)
+        b = ModelHub(nlp_suite_small, seed=1).get("bert-base-uncased").encode(features)
+        assert not np.allclose(a, b)
+
+    def test_family_members_share_domain_structure(self, nlp_hub_small):
+        qqp_models = [
+            nlp_hub_small.get(name)
+            for name in nlp_hub_small.model_names
+            if "bert_ft_qqp" in name and "init" not in name
+        ]
+        assert len(qqp_models) >= 2
+        base = nlp_hub_small.get("aliosm/sha3bor-metre-detector-arabertv2-base")
+        intra = qqp_models[0].domain_affinity(qqp_models[1].domain)
+        inter = qqp_models[0].domain_affinity(base.domain)
+        assert intra > inter
+
+    def test_model_cards_generated_for_all(self, nlp_hub_small):
+        cards = nlp_hub_small.model_cards()
+        assert set(cards) == set(nlp_hub_small.model_names)
+        assert all(len(card) > 50 for card in cards.values())
