@@ -1,0 +1,129 @@
+"""Microbenchmark: vectorized vs. pairwise-loop Eq. 1 similarity matrix.
+
+Times :func:`repro.core.similarity.performance_similarity_matrix` (the
+vectorized engine, with caching disabled) against the reference O(n^2)
+Python loop on synthetic performance matrices of n ∈ {50, 200, 800} models
+over d = 40 benchmark datasets (the paper's NLP benchmark count), and a
+third column showing the cache-hit cost of a repeated invocation.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_similarity_scaling.py
+
+The script verifies that both implementations agree to 1e-12 at every size
+and exits non-zero if the vectorized path is less than 10x faster than the
+loop at n = 800.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.cache import ArtifactCache
+from repro.core.performance import PerformanceMatrix
+from repro.core.similarity import (
+    _performance_similarity_matrix_loop,
+    performance_similarity_matrix,
+)
+
+SIZES = (50, 200, 800)
+NUM_DATASETS = 40
+TOP_K = 5
+#: Minimum accepted speedup of the vectorized path at the largest size.
+REQUIRED_SPEEDUP = 10.0
+
+
+def _synthetic_matrix(num_models: int, num_datasets: int, seed: int) -> PerformanceMatrix:
+    rng = np.random.default_rng(seed)
+    return PerformanceMatrix(
+        dataset_names=[f"bench-{i}" for i in range(num_datasets)],
+        model_names=[f"model-{j}" for j in range(num_models)],
+        values=rng.uniform(0.2, 0.95, size=(num_datasets, num_models)),
+    )
+
+
+def _best_of(repeats: int, fn: Callable[[], np.ndarray]) -> Tuple[float, np.ndarray]:
+    """Best wall-clock time over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(sizes=SIZES, *, num_datasets: int = NUM_DATASETS, top_k: int = TOP_K) -> List[dict]:
+    """Time both implementations at every size; return one record per size."""
+    records = []
+    for n in sizes:
+        matrix = _synthetic_matrix(n, num_datasets, seed=n)
+        repeats = 3
+        loop_time, loop_result = _best_of(
+            repeats, lambda: _performance_similarity_matrix_loop(matrix, top_k=top_k)
+        )
+        fast_time, fast_result = _best_of(
+            repeats,
+            lambda: performance_similarity_matrix(matrix, top_k=top_k, cache=False),
+        )
+        max_abs_diff = float(np.abs(fast_result - loop_result).max())
+        cache = ArtifactCache(max_entries=4)
+        performance_similarity_matrix(matrix, top_k=top_k, cache=cache)  # warm
+        hit_time, _ = _best_of(
+            3, lambda: performance_similarity_matrix(matrix, top_k=top_k, cache=cache)
+        )
+        records.append(
+            {
+                "n": n,
+                "loop_s": loop_time,
+                "vectorized_s": fast_time,
+                "cache_hit_s": hit_time,
+                "speedup": loop_time / fast_time if fast_time else float("inf"),
+                "max_abs_diff": max_abs_diff,
+            }
+        )
+    return records
+
+
+def render(records: List[dict]) -> str:
+    """Fixed-width report table of the benchmark records."""
+    lines = [
+        f"Eq. 1 similarity matrix scaling (d={NUM_DATASETS}, top_k={TOP_K})",
+        f"{'n':>5} {'loop [s]':>10} {'vectorized [s]':>15} "
+        f"{'cache hit [s]':>14} {'speedup':>9} {'max|diff|':>10}",
+    ]
+    for r in records:
+        lines.append(
+            f"{r['n']:>5} {r['loop_s']:>10.4f} {r['vectorized_s']:>15.4f} "
+            f"{r['cache_hit_s']:>14.6f} {r['speedup']:>8.1f}x {r['max_abs_diff']:>10.2e}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    records = run()
+    print(render(records))
+    failures = []
+    for r in records:
+        if r["max_abs_diff"] > 1e-12:
+            failures.append(f"n={r['n']}: max|diff|={r['max_abs_diff']:.2e} > 1e-12")
+    largest = records[-1]
+    if largest["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(
+            f"n={largest['n']}: speedup {largest['speedup']:.1f}x "
+            f"< required {REQUIRED_SPEEDUP:.0f}x"
+        )
+    if failures:
+        print("\nFAILED acceptance checks:\n  " + "\n  ".join(failures))
+        return 1
+    print(f"\nOK: agreement <= 1e-12 everywhere, "
+          f">= {REQUIRED_SPEEDUP:.0f}x speedup at n={largest['n']}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,8 @@ Quickstart::
 """
 
 from repro.core import (
+    BatchedSelectionRunner,
+    BatchSelectionReport,
     BruteForceSelection,
     CoarseRecall,
     FineSelection,
@@ -47,6 +49,8 @@ from repro.zoo import FineTuner, ModelHub
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchSelectionReport",
+    "BatchedSelectionRunner",
     "BruteForceSelection",
     "CoarseRecall",
     "FineSelection",

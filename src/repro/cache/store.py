@@ -1,0 +1,312 @@
+"""Cache stores: in-memory LRU, optional on-disk tier, and the facade.
+
+Three layers, composed by :class:`ArtifactCache`:
+
+* :class:`LRUCache` — thread-safe, bounded, in-memory; the hot tier every
+  lookup hits first.
+* :class:`DiskCache` — optional persistent tier storing numpy arrays as
+  ``.npy`` files and scalars as ``.json``; survives process restarts so
+  repeated experiment runs reuse the offline work.
+* :class:`ArtifactCache` — the facade the library talks to; promotes disk
+  hits into memory and tracks :class:`CacheStats`.
+
+Stored arrays are defensively copied and frozen (``writeable=False``) on
+``put`` and copied again on ``get``, so no caller can corrupt a cached
+artifact for later consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+#: Characters allowed in on-disk file names derived from cache keys.
+_UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9_.=-]")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance.
+
+    >>> stats = CacheStats()
+    >>> stats.hits, stats.misses
+    (0, 0)
+    >>> stats.record_miss(); stats.record_hit()
+    >>> stats.hit_rate
+    0.5
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    def record_hit(self) -> None:
+        """Count one successful lookup."""
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        """Count one failed lookup."""
+        self.misses += 1
+
+    def record_put(self) -> None:
+        """Count one store."""
+        self.puts += 1
+
+    def record_eviction(self, count: int = 1) -> None:
+        """Count ``count`` LRU evictions."""
+        self.evictions += count
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.puts = self.evictions = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot for logging/reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _freeze(value: Any) -> Any:
+    """Copy-and-freeze arrays so cached payloads are immutable."""
+    if isinstance(value, np.ndarray):
+        frozen = value.copy()
+        frozen.setflags(write=False)
+        return frozen
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Return a caller-owned (writable) view of a cached payload."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    return value
+
+
+class LRUCache:
+    """Bounded, thread-safe, least-recently-used in-memory cache.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of artifacts kept; the least recently *used* entry
+        is evicted first once the bound is reached.
+
+    >>> cache = LRUCache(max_entries=2)
+    >>> cache.put("a", 1.0); cache.put("b", 2.0)
+    >>> cache.get("a")
+    1.0
+    >>> cache.put("c", 3.0)   # evicts "b", the least recently used
+    >>> cache.get("b") is None
+    True
+    >>> sorted(cache.keys())
+    ['a', 'c']
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value for ``key`` (or ``None``) and mark it hot."""
+        with self._lock:
+            if key not in self._entries:
+                self.stats.record_miss()
+                return None
+            self._entries.move_to_end(key)
+            self.stats.record_hit()
+            return _thaw(self._entries[key])
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the coldest entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = _freeze(value)
+            self.stats.record_put()
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.record_eviction()
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self):
+        """Snapshot of the cached keys (coldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+class DiskCache:
+    """Persistent cache tier storing artifacts under a directory.
+
+    Arrays are written as ``<key>.npy`` and scalars/JSON-serialisable
+    payloads as ``<key>.json``.  Keys are sanitised into safe file names;
+    the content-hash component keeps sanitised names collision-free.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def _path_stem(self, key: str) -> Path:
+        return self.directory / _UNSAFE_FILENAME.sub("_", key)
+
+    def get(self, key: str) -> Optional[Any]:
+        """Load the artifact stored under ``key`` (or ``None``)."""
+        stem = self._path_stem(key)
+        npy, meta = stem.with_suffix(stem.suffix + ".npy"), stem.with_suffix(stem.suffix + ".json")
+        try:
+            if npy.exists():
+                value = np.load(npy, allow_pickle=False)
+                self.stats.record_hit()
+                return value
+            if meta.exists():
+                value = json.loads(meta.read_text())
+                self.stats.record_hit()
+                return value
+        except (OSError, ValueError, json.JSONDecodeError):
+            # A corrupt or half-written file behaves like a miss; the entry
+            # is recomputed and overwritten on the next put.
+            pass
+        self.stats.record_miss()
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Persist ``value`` under ``key`` (arrays as .npy, scalars as .json)."""
+        stem = self._path_stem(key)
+        if isinstance(value, np.ndarray):
+            np.save(stem.with_suffix(stem.suffix + ".npy"), value, allow_pickle=False)
+        else:
+            stem.with_suffix(stem.suffix + ".json").write_text(json.dumps(value))
+        self.stats.record_put()
+
+    def clear(self) -> None:
+        """Delete every cached file in the directory."""
+        for path in self.directory.glob("*"):
+            if path.suffix in (".npy", ".json"):
+                path.unlink(missing_ok=True)
+
+
+class ArtifactCache:
+    """Two-tier artifact cache used throughout the library.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound of the in-memory LRU tier.
+    disk_dir:
+        Optional directory enabling the persistent tier.
+    enabled:
+        A disabled cache turns every ``get`` into a miss and every ``put``
+        into a no-op, letting callers keep one unconditional code path.
+
+    >>> cache = ArtifactCache(max_entries=8)
+    >>> cache.get_or_compute("answer", lambda: 42.0)
+    42.0
+    >>> cache.get_or_compute("answer", lambda: 0.0)   # served from cache
+    42.0
+    >>> (cache.stats.hits, cache.stats.misses)
+    (1, 1)
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 64,
+        disk_dir: Optional[Union[str, Path]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.memory = LRUCache(max_entries=max_entries)
+        self.disk = DiskCache(disk_dir) if disk_dir is not None else None
+        self.enabled = bool(enabled)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> CacheStats:
+        """Statistics of the in-memory tier (the tier every lookup hits)."""
+        return self.memory.stats
+
+    def get(self, key: str) -> Optional[Any]:
+        """Lookup ``key`` in memory, then on disk (promoting disk hits)."""
+        if not self.enabled:
+            return None
+        value = self.memory.get(key)
+        if value is not None:
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                self.memory.put(key, value)
+                return _thaw(value)
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` in every enabled tier."""
+        if not self.enabled:
+            return
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        value = self.get(key)
+        if value is not None:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry from every tier (statistics are kept)."""
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    def stats_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-tier statistics snapshot."""
+        report = {"memory": self.memory.stats.as_dict()}
+        if self.disk is not None:
+            report["disk"] = self.disk.stats.as_dict()
+        return report

@@ -1,10 +1,23 @@
-"""Distance helpers shared by the clustering algorithms."""
+"""Distance helpers shared by the clustering algorithms.
+
+:func:`distance_matrix_for` is the cache-aware entry point used by the
+model clusterer: it derives the ``d = 1 - s`` distance matrix from the
+(vectorized, memoised) Eq. 1 similarity of a performance matrix, and
+memoises the converted distances under their own key so downstream
+consumers skip even the conversion on repeat runs.
+"""
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Dict, Optional
+
 import numpy as np
 
+from repro.cache import CacheLike, distance_key, resolve_cache, similarity_key
 from repro.utils.exceptions import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.performance import PerformanceMatrix
 
 
 def pairwise_distances(points: np.ndarray, *, metric: str = "euclidean") -> np.ndarray:
@@ -50,6 +63,53 @@ def similarity_to_distance(similarity: np.ndarray) -> np.ndarray:
     distance = np.clip(distance, 0.0, None)
     np.fill_diagonal(distance, 0.0)
     return (distance + distance.T) / 2.0
+
+
+def distance_matrix_for(
+    matrix: "PerformanceMatrix",
+    *,
+    method: str = "performance",
+    top_k: int = 5,
+    model_cards: Optional[Dict[str, str]] = None,
+    similarity: Optional[np.ndarray] = None,
+    cache: CacheLike = None,
+) -> np.ndarray:
+    """Cache-aware model-distance matrix of a performance matrix.
+
+    Computes (or fetches) the Eq. 1 / text-baseline similarity via
+    :func:`repro.core.similarity.similarity_matrix_for` and converts it with
+    :func:`similarity_to_distance`.  The converted distance matrix is
+    memoised under a key derived from the similarity key, so a second call
+    for the same inputs touches neither the similarity nor the conversion.
+
+    Parameters
+    ----------
+    similarity:
+        Optional precomputed similarity matrix aligned with
+        ``matrix.model_names``; when given, only the ``1 - s`` conversion
+        runs and nothing is read from or written to the cache — the
+        conversion is cheaper than hashing the array for a key, and a
+        custom similarity must never populate (or be shadowed by) the
+        canonical Eq. 1 entry.
+    """
+    from repro.core.similarity import similarity_matrix_for
+
+    if similarity is not None:
+        return similarity_to_distance(similarity)
+    store = resolve_cache(cache)
+    key = None
+    if store is not None and method == "performance":
+        key = distance_key(similarity_key(matrix, method=method, top_k=top_k))
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+    similarity = similarity_matrix_for(
+        matrix, method=method, top_k=top_k, model_cards=model_cards, cache=cache
+    )
+    distance = similarity_to_distance(similarity)
+    if store is not None and key is not None:
+        store.put(key, distance)
+    return distance
 
 
 def check_distance_matrix(matrix: np.ndarray) -> np.ndarray:

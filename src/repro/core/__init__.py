@@ -18,9 +18,12 @@ The public API follows the paper's structure:
   :class:`~repro.core.selection.SuccessiveHalving` and
   :class:`~repro.core.selection.BruteForceSelection` are the baselines.
 * **End-to-end** — :class:`~repro.core.pipeline.TwoPhaseSelector` wires both
-  phases behind one ``select(target)`` call.
+  phases behind one ``select(target)`` call;
+  :class:`~repro.core.batch.BatchedSelectionRunner` answers a whole batch of
+  target tasks off one shared clustering with aggregated epoch accounting.
 """
 
+from repro.core.batch import BatchedSelectionRunner, BatchSelectionReport
 from repro.core.config import (
     ClusteringConfig,
     FineSelectionConfig,
@@ -36,7 +39,12 @@ from repro.core.model_clustering import ModelClusterer, ModelClustering
 from repro.core.performance import PerformanceMatrix, build_performance_matrix
 from repro.core.pipeline import OfflineArtifacts, TwoPhaseSelector
 from repro.core.recall import CoarseRecall, RandomRecall
-from repro.core.results import RecallResult, SelectionResult, TwoPhaseResult
+from repro.core.results import (
+    RecallResult,
+    SelectionResult,
+    TwoPhaseResult,
+    aggregate_epoch_accounting,
+)
 from repro.core.selection import (
     BruteForceSelection,
     FineSelection,
@@ -49,6 +57,9 @@ from repro.core.similarity import (
 )
 
 __all__ = [
+    "BatchSelectionReport",
+    "BatchedSelectionRunner",
+    "aggregate_epoch_accounting",
     "ClusteringConfig",
     "FineSelectionConfig",
     "PipelineConfig",

@@ -1,0 +1,242 @@
+"""Batched multi-task selection: one offline phase, many online queries.
+
+The paper's offline artifacts (performance matrix + model clustering) are
+independent of the target task, so a production deployment serving many
+selection queries should build them once and amortise them.
+:class:`BatchedSelectionRunner` does exactly that: it accepts a batch of
+target tasks, shares a single clustering and a single
+:class:`~repro.core.selection.FineSelection` engine across all of them,
+runs coarse-recall followed by fine-selection per task, and aggregates the
+epoch accounting of the per-task
+:class:`~repro.core.results.SelectionResult` records into one
+:class:`BatchSelectionReport`.
+
+Typical use::
+
+    from repro.core import BatchedSelectionRunner
+    from repro.data import nlp_suite
+    from repro.zoo import ModelHub
+
+    suite = nlp_suite(seed=0)
+    hub = ModelHub(suite, seed=0)
+    runner = BatchedSelectionRunner.from_hub(hub, suite)
+    report = runner.run(["mnli", "boolq"])
+    report.selected_models()            # {'mnli': ..., 'boolq': ...}
+    report.totals()["total_cost"]       # summed epoch-equivalent cost
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.recall import CoarseRecall
+from repro.core.results import (
+    SelectionResult,
+    TwoPhaseResult,
+    aggregate_epoch_accounting,
+)
+from repro.core.selection import FineSelection
+from repro.data.tasks import ClassificationTask
+from repro.utils.exceptions import SelectionError
+from repro.zoo.finetune import FineTuner
+
+TargetLike = Union[str, ClassificationTask]
+
+
+def build_phase_engines(artifacts, fine_tuner: FineTuner):
+    """Construct the online-phase engine pair for one set of offline artifacts.
+
+    Shared by :class:`BatchedSelectionRunner` and
+    :class:`~repro.core.pipeline.TwoPhaseSelector` so the two entry points
+    can never drift in how they wire :class:`CoarseRecall` and
+    :class:`FineSelection`.
+    """
+    config = artifacts.config
+    recall = CoarseRecall(
+        artifacts.hub,
+        artifacts.matrix,
+        artifacts.clustering,
+        config=config.recall,
+    )
+    fine_selection = FineSelection(
+        artifacts.hub,
+        artifacts.matrix,
+        fine_tuner,
+        config=config.fine_selection,
+    )
+    return recall, fine_selection
+
+
+def resolve_target_task(suite, target: TargetLike) -> ClassificationTask:
+    """Resolve a target given by name or task object against ``suite``.
+
+    Shared by :class:`BatchedSelectionRunner` and
+    :class:`~repro.core.pipeline.TwoPhaseSelector`.
+    """
+    if isinstance(target, ClassificationTask):
+        return target
+    if target not in suite.dataset_names:
+        raise SelectionError(
+            f"unknown target dataset {target!r}; known: {suite.dataset_names}"
+        )
+    return suite.task(target)
+
+
+@dataclass
+class BatchSelectionReport:
+    """Outcome of one batched multi-task selection run.
+
+    Attributes
+    ----------
+    results:
+        Per-target :class:`TwoPhaseResult`, keyed by target name in the
+        order the targets were submitted.
+    """
+
+    results: Dict[str, TwoPhaseResult] = field(default_factory=dict)
+
+    @property
+    def target_names(self) -> List[str]:
+        """Targets in submission order."""
+        return list(self.results)
+
+    def result_for(self, target_name: str) -> TwoPhaseResult:
+        """Full two-phase result of one target."""
+        if target_name not in self.results:
+            raise SelectionError(
+                f"no batch result for target {target_name!r}; "
+                f"known: {self.target_names}"
+            )
+        return self.results[target_name]
+
+    def selected_models(self) -> Dict[str, str]:
+        """Selected checkpoint per target."""
+        return {name: result.selected_model for name, result in self.results.items()}
+
+    def selection_results(self) -> List[SelectionResult]:
+        """The per-task fine-selection records (carrying the epoch accounting)."""
+        return [result.selection for result in self.results.values()]
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregated epoch accounting across every task in the batch.
+
+        The proxy-inference cost of each task's recall phase is folded into
+        its ``SelectionResult.extra_epoch_cost`` before aggregation, so
+        ``totals()["total_cost"]`` is the batch's full epoch-equivalent bill.
+        """
+        return aggregate_epoch_accounting(self.selection_results())
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary (totals plus the mean selected accuracy)."""
+        totals = self.totals()
+        if self.results:
+            totals["mean_selected_accuracy"] = sum(
+                result.selected_accuracy for result in self.results.values()
+            ) / len(self.results)
+        return totals
+
+
+class BatchedSelectionRunner:
+    """Run the two-phase pipeline for many target tasks off one clustering.
+
+    Parameters
+    ----------
+    artifacts:
+        Offline products (:class:`~repro.core.pipeline.OfflineArtifacts`)
+        shared by every task in the batch — hub, suite, performance matrix,
+        clustering and configuration.
+    fine_tuner:
+        Optional fine-tuning engine shared across tasks (a fresh seeded one
+        is created otherwise).
+    recall, fine_selection:
+        Optional prebuilt engines (both or neither) — passed by
+        :meth:`~repro.core.pipeline.TwoPhaseSelector.select_many` so batched
+        queries reuse the selector's existing engines instead of
+        constructing fresh ones per call.
+
+    One :class:`~repro.core.recall.CoarseRecall` and one
+    :class:`~repro.core.selection.FineSelection` instance are dispatched per
+    task via :meth:`~repro.core.selection._SelectionBase.run_many`, so the
+    batch pays the offline cost exactly once regardless of its size.
+    """
+
+    def __init__(
+        self,
+        artifacts,
+        *,
+        fine_tuner: Optional[FineTuner] = None,
+        seed: int = 0,
+        recall: Optional[CoarseRecall] = None,
+        fine_selection: Optional[FineSelection] = None,
+    ) -> None:
+        self.artifacts = artifacts
+        self.fine_tuner = fine_tuner or FineTuner(seed=seed)
+        if (recall is None) != (fine_selection is None):
+            raise SelectionError(
+                "recall and fine_selection must be supplied together"
+            )
+        if recall is None:
+            recall, fine_selection = build_phase_engines(artifacts, self.fine_tuner)
+        self._recall = recall
+        self._fine_selection = fine_selection
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_hub(
+        cls,
+        hub,
+        suite=None,
+        *,
+        config=None,
+        fine_tuner: Optional[FineTuner] = None,
+        seed: int = 0,
+    ) -> "BatchedSelectionRunner":
+        """Build the offline artifacts once and wrap them in a batch runner."""
+        from repro.core.pipeline import OfflineArtifacts
+
+        artifacts = OfflineArtifacts.build(
+            hub, suite, config=config, fine_tuner=fine_tuner
+        )
+        return cls(artifacts, fine_tuner=fine_tuner, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    def _resolve_task(self, target: TargetLike) -> ClassificationTask:
+        return resolve_target_task(self.artifacts.suite, target)
+
+    def run(
+        self, targets: Sequence[TargetLike], *, top_k: Optional[int] = None
+    ) -> BatchSelectionReport:
+        """Select a checkpoint for every target task in the batch.
+
+        Phase 1 (coarse recall) runs per task against the shared clustering;
+        phase 2 dispatches all ``(recalled candidates, task)`` jobs through
+        one :class:`FineSelection` engine.  Each task's recall proxy cost is
+        recorded on its ``SelectionResult.extra_epoch_cost``, exactly as the
+        single-task :class:`~repro.core.pipeline.TwoPhaseSelector` does.
+        """
+        tasks = [self._resolve_task(target) for target in targets]
+        if not tasks:
+            raise SelectionError("target batch must not be empty")
+        seen: Dict[str, None] = {}
+        for task in tasks:
+            if task.name in seen:
+                raise SelectionError(f"duplicate target {task.name!r} in batch")
+            seen[task.name] = None
+
+        recall_results = [self._recall.recall(task, top_k=top_k) for task in tasks]
+        jobs: List[Tuple[Sequence[str], ClassificationTask]] = [
+            (recall.recalled_models, task)
+            for recall, task in zip(recall_results, tasks)
+        ]
+        selection_results = self._fine_selection.run_many(jobs)
+
+        report = BatchSelectionReport()
+        for task, recall, selection in zip(tasks, recall_results, selection_results):
+            selection.extra_epoch_cost = recall.epoch_cost
+            report.results[task.name] = TwoPhaseResult(
+                target_name=task.name,
+                recall=recall,
+                selection=selection,
+            )
+        return report

@@ -14,8 +14,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cache import CacheLike, resolve_cache
 from repro.cluster.assignments import ClusterAssignment
-from repro.cluster.distance import similarity_to_distance
+from repro.cluster.distance import distance_matrix_for, similarity_to_distance
 from repro.cluster.hierarchical import AgglomerativeClustering
 from repro.cluster.kmeans import KMeans
 from repro.cluster.silhouette import silhouette_score
@@ -118,8 +119,13 @@ class ModelClusterer:
         matrix: PerformanceMatrix,
         *,
         model_cards: Optional[Dict[str, str]] = None,
+        cache: CacheLike = None,
     ) -> ModelClustering:
-        """Cluster the models of ``matrix`` according to the configuration."""
+        """Cluster the models of ``matrix`` according to the configuration.
+
+        Both the similarity matrix and its distance conversion are served
+        from the artifact cache when available (``cache=False`` opts out).
+        """
         if len(matrix.model_names) < 2:
             raise SelectionError("model clustering requires at least two models")
         similarity = similarity_matrix_for(
@@ -127,8 +133,20 @@ class ModelClusterer:
             method=self.config.similarity,
             top_k=self.config.top_k,
             model_cards=model_cards,
+            cache=cache,
         )
-        distance = similarity_to_distance(similarity)
+        if resolve_cache(cache) is not None:
+            # Cache-backed path: the conversion is memoised under its own
+            # key, so a repeat clustering resolves with one lookup.
+            distance = distance_matrix_for(
+                matrix,
+                method=self.config.similarity,
+                top_k=self.config.top_k,
+                model_cards=model_cards,
+                cache=cache,
+            )
+        else:
+            distance = similarity_to_distance(similarity)
         labels = self._run_algorithm(distance)
         assignment = ClusterAssignment.from_labels(matrix.model_names, labels)
         representatives = self._elect_representatives(assignment, matrix)

@@ -12,17 +12,20 @@ an epoch per scored cluster plus the fine-tuning epochs actually spent).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
+from repro.core.batch import (
+    BatchedSelectionRunner,
+    BatchSelectionReport,
+    build_phase_engines,
+    resolve_target_task,
+)
 from repro.core.config import PipelineConfig
 from repro.core.model_clustering import ModelClusterer, ModelClustering
 from repro.core.performance import PerformanceMatrix, build_performance_matrix
-from repro.core.recall import CoarseRecall
 from repro.core.results import TwoPhaseResult
-from repro.core.selection import FineSelection
 from repro.data.tasks import ClassificationTask
 from repro.data.workloads import WorkloadSuite
-from repro.utils.exceptions import SelectionError
 from repro.zoo.finetune import FineTuner
 from repro.zoo.hub import ModelHub
 
@@ -72,18 +75,8 @@ class TwoPhaseSelector:
     ) -> None:
         self.artifacts = artifacts
         self.fine_tuner = fine_tuner or FineTuner(seed=seed)
-        config = artifacts.config
-        self._recall = CoarseRecall(
-            artifacts.hub,
-            artifacts.matrix,
-            artifacts.clustering,
-            config=config.recall,
-        )
-        self._fine_selection = FineSelection(
-            artifacts.hub,
-            artifacts.matrix,
-            self.fine_tuner,
-            config=config.fine_selection,
+        self._recall, self._fine_selection = build_phase_engines(
+            artifacts, self.fine_tuner
         )
 
     # ------------------------------------------------------------------ #
@@ -103,14 +96,7 @@ class TwoPhaseSelector:
 
     # ------------------------------------------------------------------ #
     def _resolve_task(self, target: Union[str, ClassificationTask]) -> ClassificationTask:
-        if isinstance(target, ClassificationTask):
-            return target
-        suite = self.artifacts.suite
-        if target not in suite.dataset_names:
-            raise SelectionError(
-                f"unknown target dataset {target!r}; known: {suite.dataset_names}"
-            )
-        return suite.task(target)
+        return resolve_target_task(self.artifacts.suite, target)
 
     def select(
         self,
@@ -128,6 +114,27 @@ class TwoPhaseSelector:
             recall=recall_result,
             selection=selection_result,
         )
+
+    def select_many(
+        self,
+        targets: Sequence[Union[str, ClassificationTask]],
+        *,
+        top_k: Optional[int] = None,
+    ) -> BatchSelectionReport:
+        """Select checkpoints for a batch of targets off the shared clustering.
+
+        Delegates to :class:`~repro.core.batch.BatchedSelectionRunner`
+        borrowing this selector's offline artifacts, fine-tuner and online
+        engines, so neither the offline phase nor the engine construction is
+        repeated per target.
+        """
+        runner = BatchedSelectionRunner(
+            self.artifacts,
+            fine_tuner=self.fine_tuner,
+            recall=self._recall,
+            fine_selection=self._fine_selection,
+        )
+        return runner.run(targets, top_k=top_k)
 
     def recall_only(
         self, target: Union[str, ClassificationTask], *, top_k: Optional[int] = None

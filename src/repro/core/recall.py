@@ -54,7 +54,9 @@ class CoarseRecall:
         self.matrix = matrix
         self.clustering = clustering
         self.config = config or RecallConfig()
-        self._scorer = get_scorer(self.config.proxy_score)
+        self._scorer = get_scorer(
+            self.config.proxy_score, cached=self.config.cache_proxy_scores
+        )
         self._rng = as_generator(rng)
 
     # ------------------------------------------------------------------ #

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -112,3 +112,24 @@ class TwoPhaseResult:
     def total_cost(self) -> float:
         """Total epoch-equivalent cost (proxy inference + fine-tuning)."""
         return self.selection.runtime_epochs + self.recall.epoch_cost
+
+
+def aggregate_epoch_accounting(results: Iterable[SelectionResult]) -> Dict[str, float]:
+    """Sum the epoch accounting of several :class:`SelectionResult` records.
+
+    Returns the totals a batch run reports (the cost unit of the paper's
+    Tables V/VI): fine-tuning epochs, extra epoch-equivalent costs (proxy
+    inference), their sum, and the number of tasks aggregated.
+    """
+    totals = {
+        "num_tasks": 0.0,
+        "runtime_epochs": 0.0,
+        "extra_epoch_cost": 0.0,
+        "total_cost": 0.0,
+    }
+    for result in results:
+        totals["num_tasks"] += 1.0
+        totals["runtime_epochs"] += float(result.runtime_epochs)
+        totals["extra_epoch_cost"] += float(result.extra_epoch_cost)
+        totals["total_cost"] += result.total_cost
+    return totals

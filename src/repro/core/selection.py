@@ -17,7 +17,7 @@ every fine-tuning epoch spent — the cost unit of the paper's Tables V/VI.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +56,23 @@ class _SelectionBase:
         if unknown:
             raise SelectionError(f"unknown candidate model(s): {unknown[:3]}")
         return names
+
+    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
+        """Select among ``candidates`` on ``task``; implemented by subclasses."""
+        raise NotImplementedError
+
+    def run_many(
+        self, jobs: Sequence[Tuple[Sequence[str], ClassificationTask]]
+    ) -> List[SelectionResult]:
+        """Run one selection per ``(candidates, task)`` job.
+
+        Every job reuses this instance's hub, fine-tuner and configuration
+        (and, for :class:`FineSelection`, its performance matrix and trend
+        miner) — the per-task work is only the online fine-tuning.  Used by
+        :class:`repro.core.batch.BatchedSelectionRunner` to amortise the
+        offline artifacts across a batch of target tasks.
+        """
+        return [self.run(candidates, task) for candidates, task in jobs]
 
     def _start_sessions(
         self, candidates: Sequence[str], task: ClassificationTask

@@ -3,11 +3,16 @@
 ``run_all`` executes all tables and figures for both modalities and returns
 their rendered text blocks; the ``examples/reproduce_paper.py`` script and
 the EXPERIMENTS.md document are produced from this output.
+``run_batched_selection`` answers all of a modality's target tasks in one
+batched pass over the shared offline artifacts (and, thanks to the artifact
+cache, reuses similarity/distance matrices across figures and repeat runs).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batch import BatchSelectionReport
 
 from repro.experiments import (
     fig1_distribution,
@@ -82,6 +87,27 @@ def run_all(
             )
         outputs[experiment_id] = EXPERIMENTS[experiment_id](contexts)
     return outputs
+
+
+def run_batched_selection(
+    modality: str = "nlp",
+    *,
+    targets: Optional[Sequence[str]] = None,
+    top_k: Optional[int] = None,
+    scale: Optional[str] = None,
+    seed: int = 0,
+) -> BatchSelectionReport:
+    """Run the two-phase pipeline for a batch of targets of one modality.
+
+    Uses the memoised :class:`~repro.experiments.context.ExperimentContext`
+    selector (and its offline artifacts), so the offline phase is shared
+    with every other experiment of the same ``(modality, scale, seed)``
+    triple.  ``targets`` defaults to every target dataset of the modality's
+    workload suite.
+    """
+    context = get_context(modality, scale=scale, seed=seed)
+    resolved = context.target_names if targets is None else list(targets)
+    return context.selector.select_many(resolved, top_k=top_k)
 
 
 def render_report(outputs: Dict[str, str]) -> str:

@@ -4,12 +4,26 @@ The coarse-recall configuration refers to its proxy score by a string
 (``"leep"`` in the paper); the registry turns that string into a scorer
 instance and lets downstream users plug in custom scorers without touching
 the core pipeline.
+
+:class:`CachedScorer` wraps any scorer with artifact-cache memoisation so
+repeated scoring of the same (scorer, model, target data) triple — e.g.
+across figures that share a target task, or across repeated experiment
+runs with a disk cache — is served without re-running model inference.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
+from repro.cache import (
+    CacheLike,
+    fingerprint_model,
+    fingerprint_task,
+    proxy_score_key,
+    resolve_cache,
+)
 from repro.metrics.base import ProxyScorer
 from repro.metrics.hscore import HScoreScorer
 from repro.metrics.knn import KnnScorer
@@ -17,6 +31,7 @@ from repro.metrics.leep import LeepScorer
 from repro.metrics.logme import LogMeScorer
 from repro.metrics.nce import NceScorer
 from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import stable_hash
 
 _FACTORIES: Dict[str, Callable[[], ProxyScorer]] = {
     "leep": LeepScorer,
@@ -39,10 +54,85 @@ def available_scorers() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def get_scorer(name: str) -> ProxyScorer:
-    """Instantiate the scorer registered under ``name``."""
+class CachedScorer(ProxyScorer):
+    """Artifact-cache memoisation wrapper around another proxy scorer.
+
+    Scores are keyed by scorer name, model *weight* fingerprint, target-task
+    data fingerprint, split and sample cap — two checkpoints sharing a name
+    but not weights (e.g. hubs built with different seeds) never collide.
+    To keep cached and freshly computed scores interchangeable, any
+    subsampling inside the wrapped scorer uses a generator seeded
+    deterministically from the cache key — the ``rng`` argument passed by
+    callers is ignored and the caller's random stream is never consumed,
+    whether or not a cache is currently enabled.
+
+    >>> scorer = CachedScorer(LeepScorer())
+    >>> scorer.name
+    'leep'
+    """
+
+    def __init__(self, inner: ProxyScorer, *, cache: CacheLike = None) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.uses_source_posterior = inner.uses_source_posterior
+        self._cache = cache
+
+    def score(
+        self,
+        model,
+        task,
+        *,
+        split: str = "train",
+        max_samples: Optional[int] = None,
+        rng=None,
+    ) -> float:
+        """Memoised proxy score of ``model`` on ``task``.
+
+        The key (and the deterministic subsampling seed derived from it) is
+        computed even when caching is disabled, so results never depend on
+        whether the cache happens to be on.
+        """
+        store = resolve_cache(self._cache)
+        key = proxy_score_key(
+            self.inner.name,
+            fingerprint_model(model),
+            fingerprint_task(task, split=split),
+            split=split,
+            max_samples=max_samples,
+        )
+        if store is not None:
+            cached = store.get(key)
+            if cached is not None:
+                return float(cached)
+        value = float(
+            self.inner.score(
+                model,
+                task,
+                split=split,
+                max_samples=max_samples,
+                rng=np.random.default_rng(stable_hash(key)),
+            )
+        )
+        if store is not None:
+            store.put(key, value)
+        return value
+
+    def score_arrays(self, inputs, labels, *, num_classes: int) -> float:
+        """Delegate raw-array scoring to the wrapped scorer (uncached)."""
+        return self.inner.score_arrays(inputs, labels, num_classes=num_classes)
+
+
+def get_scorer(name: str, *, cached: bool = False, cache: CacheLike = None) -> ProxyScorer:
+    """Instantiate the scorer registered under ``name``.
+
+    With ``cached=True`` the scorer is wrapped in :class:`CachedScorer`,
+    memoising scores in ``cache`` (the process default when ``None``).
+    """
     if name not in _FACTORIES:
         raise ConfigurationError(
             f"unknown proxy scorer {name!r}; available: {available_scorers()}"
         )
-    return _FACTORIES[name]()
+    scorer = _FACTORIES[name]()
+    if cached:
+        return CachedScorer(scorer, cache=cache)
+    return scorer

@@ -1,0 +1,174 @@
+"""Integration tests: similarity/distance/proxy caching through the pipeline."""
+
+import numpy as np
+
+import repro.cache as cache_module
+from repro.cache import ArtifactCache
+from repro.cluster.distance import distance_matrix_for, similarity_to_distance
+from repro.core.config import ClusteringConfig
+from repro.core.model_clustering import ModelClusterer
+from repro.core.similarity import performance_similarity_matrix
+from repro.metrics.registry import CachedScorer, get_scorer
+
+
+class TestSimilarityCaching:
+    def test_second_invocation_is_served_from_cache(self, nlp_matrix_small):
+        cache = ArtifactCache(max_entries=8)
+        first = performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=cache)
+        assert cache.stats.hits == 0 and cache.stats.misses == 1
+        second = performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=cache)
+        assert cache.stats.hits == 1
+        assert np.array_equal(first, second)
+
+    def test_different_top_k_is_a_different_entry(self, nlp_matrix_small):
+        cache = ArtifactCache(max_entries=8)
+        performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=cache)
+        performance_similarity_matrix(nlp_matrix_small, top_k=3, cache=cache)
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+    def test_cache_false_bypasses_default(self, nlp_matrix_small):
+        cache_module.clear_cache()
+        stats = cache_module.get_cache().stats
+        lookups_before = stats.lookups
+        performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=False)
+        assert stats.lookups == lookups_before
+
+    def test_default_cache_round_trip(self, nlp_matrix_small):
+        cache_module.clear_cache()
+        stats = cache_module.get_cache().stats
+        baseline_hits = stats.hits
+        performance_similarity_matrix(nlp_matrix_small, top_k=7)
+        performance_similarity_matrix(nlp_matrix_small, top_k=7)
+        assert stats.hits == baseline_hits + 1
+
+    def test_mutating_a_result_does_not_poison_the_cache(self, nlp_matrix_small):
+        cache = ArtifactCache(max_entries=8)
+        first = performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=cache)
+        first[0, 1] = -123.0
+        second = performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=cache)
+        assert second[0, 1] != -123.0
+
+
+class TestDistanceCaching:
+    def test_distance_served_from_cache_without_similarity_recompute(
+        self, nlp_matrix_small
+    ):
+        cache = ArtifactCache(max_entries=8)
+        first = distance_matrix_for(nlp_matrix_small, top_k=5, cache=cache)
+        lookups_after_first = cache.stats.lookups
+        second = distance_matrix_for(nlp_matrix_small, top_k=5, cache=cache)
+        assert np.array_equal(first, second)
+        # The second call resolves with a single lookup: the distance key.
+        assert cache.stats.lookups == lookups_after_first + 1
+        assert cache.stats.hits >= 1
+
+    def test_distance_matches_direct_conversion(self, nlp_matrix_small):
+        cache = ArtifactCache(max_entries=8)
+        direct = similarity_to_distance(
+            performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=False)
+        )
+        routed = distance_matrix_for(nlp_matrix_small, top_k=5, cache=cache)
+        assert np.allclose(direct, routed, atol=1e-12)
+
+    def test_custom_similarity_does_not_poison_canonical_entry(
+        self, nlp_matrix_small
+    ):
+        cache = ArtifactCache(max_entries=8)
+        n = len(nlp_matrix_small.model_names)
+        custom = np.full((n, n), 0.5)
+        np.fill_diagonal(custom, 1.0)
+        custom_distance = distance_matrix_for(
+            nlp_matrix_small, top_k=5, similarity=custom, cache=cache
+        )
+        # A precomputed similarity bypasses the cache entirely.
+        assert cache.stats.lookups == 0 and cache.stats.puts == 0
+        canonical = distance_matrix_for(nlp_matrix_small, top_k=5, cache=cache)
+        expected = similarity_to_distance(
+            performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=False)
+        )
+        assert np.allclose(canonical, expected, atol=1e-12)
+        assert not np.allclose(canonical, custom_distance)
+
+    def test_clusterer_reuses_cached_artifacts(self, nlp_matrix_small, nlp_hub_small):
+        cache = ArtifactCache(max_entries=8)
+        clusterer = ModelClusterer(ClusteringConfig())
+        first = clusterer.cluster(
+            nlp_matrix_small, model_cards=nlp_hub_small.model_cards(), cache=cache
+        )
+        misses_after_first = cache.stats.misses
+        second = clusterer.cluster(
+            nlp_matrix_small, model_cards=nlp_hub_small.model_cards(), cache=cache
+        )
+        assert cache.stats.misses == misses_after_first  # everything was a hit
+        assert np.array_equal(first.assignment.labels, second.assignment.labels)
+        assert np.array_equal(first.similarity, second.similarity)
+
+
+class TestProxyScoreCaching:
+    def test_cached_scorer_hits_on_second_score(self, nlp_hub_small, nlp_suite_small):
+        cache = ArtifactCache(max_entries=8)
+        scorer = get_scorer("leep", cached=True, cache=cache)
+        assert isinstance(scorer, CachedScorer)
+        model = nlp_hub_small.get(nlp_hub_small.model_names[0])
+        task = nlp_suite_small.task("mnli")
+        first = scorer.score(model, task, max_samples=64)
+        second = scorer.score(model, task, max_samples=64)
+        assert first == second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_cached_scorer_matches_deterministic_plain_scorer(
+        self, nlp_hub_small, nlp_suite_small
+    ):
+        # Without subsampling there is no randomness, so the cached wrapper
+        # must reproduce the plain scorer bit-for-bit.
+        model = nlp_hub_small.get(nlp_hub_small.model_names[0])
+        task = nlp_suite_small.task("mnli")
+        plain = get_scorer("leep").score(model, task, max_samples=None)
+        cached = get_scorer("leep", cached=True, cache=ArtifactCache()).score(
+            model, task, max_samples=None
+        )
+        assert plain == cached
+
+    def test_distinct_models_do_not_collide(self, nlp_hub_small, nlp_suite_small):
+        cache = ArtifactCache(max_entries=8)
+        scorer = get_scorer("leep", cached=True, cache=cache)
+        task = nlp_suite_small.task("mnli")
+        name_a, name_b = nlp_hub_small.model_names[:2]
+        score_a = scorer.score(nlp_hub_small.get(name_a), task, max_samples=64)
+        score_b = scorer.score(nlp_hub_small.get(name_b), task, max_samples=64)
+        assert cache.stats.misses == 2
+        assert score_a != score_b
+
+    def test_same_name_different_weights_do_not_collide(
+        self, nlp_hub_small, nlp_suite_small
+    ):
+        # Two hubs built from different seeds carry identically named
+        # checkpoints with different weights; their proxy scores must be
+        # cached under different keys.
+        from repro.zoo.hub import ModelHub
+
+        other_hub = ModelHub(nlp_suite_small, seed=99).subset(
+            nlp_hub_small.model_names
+        )
+        name = nlp_hub_small.model_names[0]
+        cache = ArtifactCache(max_entries=8)
+        scorer = get_scorer("leep", cached=True, cache=cache)
+        task = nlp_suite_small.task("mnli")
+        scorer.score(nlp_hub_small.get(name), task, max_samples=64)
+        scorer.score(other_hub.get(name), task, max_samples=64)
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+    def test_score_independent_of_cache_enablement(
+        self, nlp_hub_small, nlp_suite_small
+    ):
+        # Disabling the cache must not change the number a CachedScorer
+        # produces (subsampling is seeded from the key either way).
+        model = nlp_hub_small.get(nlp_hub_small.model_names[0])
+        task = nlp_suite_small.task("mnli")
+        with_cache = get_scorer(
+            "leep", cached=True, cache=ArtifactCache(max_entries=8)
+        ).score(model, task, max_samples=32)
+        without_cache = get_scorer("leep", cached=True, cache=False).score(
+            model, task, max_samples=32
+        )
+        assert with_cache == without_cache

@@ -1,0 +1,93 @@
+"""Tests for content fingerprints and cache-key construction."""
+
+import numpy as np
+
+from repro.cache import (
+    distance_key,
+    fingerprint_array,
+    fingerprint_matrix,
+    fingerprint_task,
+    fingerprint_text,
+    proxy_score_key,
+    similarity_key,
+    text_similarity_key,
+)
+from repro.core.performance import PerformanceMatrix
+
+
+def _matrix(values, datasets=None, models=None):
+    values = np.asarray(values, dtype=float)
+    return PerformanceMatrix(
+        dataset_names=datasets or [f"d{i}" for i in range(values.shape[0])],
+        model_names=models or [f"m{j}" for j in range(values.shape[1])],
+        values=values,
+    )
+
+
+class TestFingerprints:
+    def test_array_fingerprint_is_content_based(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert fingerprint_array(a) == fingerprint_array(a.copy())
+        assert fingerprint_array(a) == fingerprint_array(np.asfortranarray(a))
+        changed = a.copy()
+        changed[0, 0] += 1e-9
+        assert fingerprint_array(a) != fingerprint_array(changed)
+
+    def test_array_fingerprint_distinguishes_shape(self):
+        flat = np.arange(6.0)
+        assert fingerprint_array(flat) != fingerprint_array(flat.reshape(2, 3))
+
+    def test_text_fingerprint_separates_fields(self):
+        assert fingerprint_text("ab", "c") != fingerprint_text("a", "bc")
+
+    def test_matrix_fingerprint_covers_names_and_values(self):
+        base = _matrix([[0.1, 0.2], [0.3, 0.4]])
+        same = _matrix([[0.1, 0.2], [0.3, 0.4]])
+        assert fingerprint_matrix(base) == fingerprint_matrix(same)
+        renamed = _matrix([[0.1, 0.2], [0.3, 0.4]], models=["x", "y"])
+        assert fingerprint_matrix(base) != fingerprint_matrix(renamed)
+        perturbed = _matrix([[0.1, 0.2], [0.3, 0.5]])
+        assert fingerprint_matrix(base) != fingerprint_matrix(perturbed)
+
+    def test_matrix_fingerprint_ignores_curves(self, nlp_matrix_small):
+        stripped = PerformanceMatrix(
+            dataset_names=list(nlp_matrix_small.dataset_names),
+            model_names=list(nlp_matrix_small.model_names),
+            values=nlp_matrix_small.values.copy(),
+        )
+        assert fingerprint_matrix(stripped) == fingerprint_matrix(nlp_matrix_small)
+
+    def test_task_fingerprint_stable_and_data_sensitive(self, nlp_suite_small):
+        task = nlp_suite_small.task("mnli")
+        again = nlp_suite_small.task("mnli")
+        other = nlp_suite_small.task("boolq")
+        assert fingerprint_task(task) == fingerprint_task(again)
+        assert fingerprint_task(task) != fingerprint_task(other)
+
+
+class TestKeyConstructors:
+    def test_similarity_key_encodes_parameters(self):
+        matrix = _matrix([[0.1, 0.2], [0.3, 0.4]])
+        assert similarity_key(matrix, top_k=5) != similarity_key(matrix, top_k=3)
+        assert similarity_key(matrix, method="performance") != similarity_key(
+            matrix, method="text"
+        )
+
+    def test_distance_key_derives_from_similarity_key(self):
+        matrix = _matrix([[0.1, 0.2], [0.3, 0.4]])
+        sim = similarity_key(matrix, top_k=5)
+        assert distance_key(sim) == f"dist:{sim}"
+
+    def test_text_similarity_key_order_and_content(self):
+        assert text_similarity_key({"a": "x", "b": "y"}) != text_similarity_key(
+            {"b": "y", "a": "x"}
+        )
+        assert text_similarity_key({"a": "x"}) != text_similarity_key({"a": "z"})
+
+    def test_proxy_key_distinguishes_all_inputs(self):
+        base = proxy_score_key("leep", "bert", "fp", split="train", max_samples=256)
+        assert base != proxy_score_key("nce", "bert", "fp", split="train", max_samples=256)
+        assert base != proxy_score_key("leep", "gpt", "fp", split="train", max_samples=256)
+        assert base != proxy_score_key("leep", "bert", "fq", split="train", max_samples=256)
+        assert base != proxy_score_key("leep", "bert", "fp", split="val", max_samples=256)
+        assert base != proxy_score_key("leep", "bert", "fp", split="train", max_samples=128)

@@ -1,0 +1,129 @@
+"""Tests for the cache stores (LRU tier, disk tier, facade, stats)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import ArtifactCache, CacheStats, DiskCache, LRUCache
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestCacheStats:
+    def test_counters_and_hit_rate(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        stats.record_miss()
+        stats.record_hit()
+        stats.record_hit()
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_reset_and_as_dict(self):
+        stats = CacheStats(hits=3, misses=1, puts=2, evictions=1)
+        snapshot = stats.as_dict()
+        assert snapshot["hits"] == 3 and snapshot["evictions"] == 1
+        stats.reset()
+        assert stats.lookups == 0 and stats.puts == 0
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("x", 1.5)
+        assert cache.get("x") == 1.5
+        assert cache.get("missing") is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.get("a")          # refresh "a" so "b" is the coldest entry
+        cache.put("c", 3.0)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1.0
+        assert cache.get("c") == 3.0
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_overwrite_does_not_grow(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("a", 2.0)
+        assert len(cache) == 1
+        assert cache.get("a") == 2.0
+
+    def test_arrays_are_isolated_from_callers(self):
+        cache = LRUCache(max_entries=2)
+        original = np.arange(4.0)
+        cache.put("arr", original)
+        original[0] = 99.0          # mutating the source must not reach the cache
+        fetched = cache.get("arr")
+        assert fetched[0] == 0.0
+        fetched[1] = -1.0           # mutating a fetched copy must not either
+        assert cache.get("arr")[1] == 1.0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(max_entries=0)
+
+
+class TestDiskCache:
+    def test_array_and_scalar_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        array = np.random.default_rng(0).random((3, 3))
+        cache.put("sim:test:abc", array)
+        cache.put("proxy:test:def", 0.75)
+        assert np.array_equal(cache.get("sim:test:abc"), array)
+        assert cache.get("proxy:test:def") == 0.75
+        assert cache.get("unknown") is None
+
+    def test_clear_removes_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("a", np.ones(2))
+        cache.clear()
+        assert cache.get("a") is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("a", np.ones(2))
+        next(tmp_path.glob("*.npy")).write_bytes(b"not a npy file")
+        assert cache.get("a") is None
+
+
+class TestArtifactCache:
+    def test_get_or_compute_computes_once(self):
+        cache = ArtifactCache(max_entries=8)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.ones(3)
+
+        first = cache.get_or_compute("k", compute)
+        second = cache.get_or_compute("k", compute)
+        assert len(calls) == 1
+        assert np.array_equal(first, second)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_disabled_cache_never_stores(self):
+        cache = ArtifactCache(max_entries=8, enabled=False)
+        cache.put("k", 1.0)
+        assert cache.get("k") is None
+        assert len(cache.memory) == 0
+
+    def test_disk_tier_promotion(self, tmp_path):
+        writer = ArtifactCache(max_entries=8, disk_dir=tmp_path)
+        writer.put("k", np.arange(3.0))
+        # A fresh process (new memory tier, same directory) hits via disk.
+        reader = ArtifactCache(max_entries=8, disk_dir=tmp_path)
+        value = reader.get("k")
+        assert np.array_equal(value, np.arange(3.0))
+        # The disk hit is promoted into the memory tier.
+        assert "k" in reader.memory
+
+    def test_stats_report_tiers(self, tmp_path):
+        cache = ArtifactCache(max_entries=8, disk_dir=tmp_path)
+        cache.put("k", 1.0)
+        report = cache.stats_report()
+        assert set(report) == {"memory", "disk"}
+        assert report["memory"]["puts"] == 1

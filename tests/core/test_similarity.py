@@ -3,14 +3,27 @@
 import numpy as np
 import pytest
 
+from repro.cache import ArtifactCache
+from repro.core.performance import PerformanceMatrix
 from repro.core.similarity import (
+    _performance_similarity_matrix_loop,
     pairwise_model_similarity,
     performance_similarity,
     performance_similarity_matrix,
+    similarity_chunk_rows,
     similarity_matrix_for,
     text_similarity_matrix,
 )
 from repro.utils.exceptions import ConfigurationError, DataError
+
+
+def _random_matrix(n, d, seed=0):
+    rng = np.random.default_rng(seed)
+    return PerformanceMatrix(
+        dataset_names=[f"d{i}" for i in range(d)],
+        model_names=[f"m{j}" for j in range(n)],
+        values=rng.random((d, n)),
+    )
 
 
 class TestPerformanceSimilarity:
@@ -89,3 +102,86 @@ class TestSimilarityMatrices:
     def test_dispatch_unknown_method(self, nlp_matrix_small):
         with pytest.raises(ConfigurationError):
             similarity_matrix_for(nlp_matrix_small, method="embedding")
+
+    def test_dispatch_text_rejects_missing_card(self, nlp_matrix_small, nlp_hub_small):
+        cards = nlp_hub_small.model_cards()
+        cards.pop(nlp_matrix_small.model_names[0])
+        with pytest.raises(ConfigurationError, match="missing"):
+            similarity_matrix_for(nlp_matrix_small, method="text", model_cards=cards)
+
+    def test_dispatch_text_rejects_extra_card(self, nlp_matrix_small, nlp_hub_small):
+        cards = nlp_hub_small.model_cards()
+        cards["not-a-hub-model"] = "a stray model card"
+        with pytest.raises(ConfigurationError, match="unexpected"):
+            similarity_matrix_for(nlp_matrix_small, method="text", model_cards=cards)
+
+    def test_dispatch_text_accepts_exact_card_set(self, nlp_matrix_small, nlp_hub_small):
+        out = similarity_matrix_for(
+            nlp_matrix_small, method="text", model_cards=nlp_hub_small.model_cards()
+        )
+        assert out.shape[0] == len(nlp_matrix_small.model_names)
+
+
+class TestVectorizedSimilarityMatrix:
+    """The vectorized engine must agree exactly with the pairwise loop."""
+
+    @pytest.mark.parametrize(
+        "n,d,top_k",
+        [
+            (2, 1, 1),
+            (5, 3, 2),
+            (12, 8, 5),
+            (23, 40, 5),
+            (16, 4, 9),     # top_k > d gets clamped to d
+            (7, 1, 5),      # single benchmark dataset
+        ],
+    )
+    def test_matches_reference_loop(self, n, d, top_k):
+        matrix = _random_matrix(n, d, seed=n * 100 + d)
+        fast = performance_similarity_matrix(matrix, top_k=top_k, cache=False)
+        slow = _performance_similarity_matrix_loop(matrix, top_k=top_k)
+        assert np.allclose(fast, slow, atol=1e-12, rtol=0.0)
+
+    def test_single_model_matrix(self):
+        matrix = _random_matrix(1, 6)
+        out = performance_similarity_matrix(matrix, cache=False)
+        assert out.shape == (1, 1) and out[0, 0] == 1.0
+
+    def test_chunked_path_identical_to_single_shot(self):
+        matrix = _random_matrix(17, 9, seed=3)
+        whole = performance_similarity_matrix(matrix, top_k=4, cache=False)
+        for rows in (1, 2, 5, 16, 17, 100):
+            chunked = performance_similarity_matrix(
+                matrix, top_k=4, cache=False, chunk_rows=rows
+            )
+            assert np.array_equal(whole, chunked)
+
+    def test_properties_hold(self):
+        matrix = _random_matrix(14, 6, seed=9)
+        out = performance_similarity_matrix(matrix, cache=False)
+        assert np.allclose(np.diag(out), 1.0)
+        assert np.allclose(out, out.T)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_rejects_invalid_top_k(self):
+        with pytest.raises(ConfigurationError):
+            performance_similarity_matrix(_random_matrix(3, 3), top_k=0, cache=False)
+
+    def test_rejects_invalid_chunk_rows(self):
+        with pytest.raises(ConfigurationError):
+            performance_similarity_matrix(
+                _random_matrix(3, 3), chunk_rows=0, cache=False
+            )
+
+    def test_cache_hit_on_second_call(self):
+        cache = ArtifactCache(max_entries=4)
+        matrix = _random_matrix(6, 4)
+        first = performance_similarity_matrix(matrix, cache=cache)
+        second = performance_similarity_matrix(matrix, cache=cache)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert np.array_equal(first, second)
+
+    def test_chunk_rows_heuristic(self):
+        assert similarity_chunk_rows(800, 40, budget_bytes=64 * 1024**2) == 262
+        assert similarity_chunk_rows(10, 5) == 10          # small fits whole
+        assert similarity_chunk_rows(10**6, 10**6) == 1    # never below one row

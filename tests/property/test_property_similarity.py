@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.similarity import performance_similarity
+from repro.core.performance import PerformanceMatrix
+from repro.core.similarity import (
+    _performance_similarity_matrix_loop,
+    performance_similarity,
+    performance_similarity_matrix,
+)
 from repro.nn.losses import softmax, softmax_cross_entropy
 from repro.nn.metrics import accuracy
 
@@ -46,6 +51,50 @@ class TestEq1Properties:
         small_k = performance_similarity(a, b, top_k=top_k)
         large_k = performance_similarity(a, b, top_k=top_k + 3)
         assert large_k >= small_k - 1e-12
+
+
+@st.composite
+def performance_matrices(draw, max_models=12, max_datasets=10):
+    """Random PerformanceMatrix instances, including the n = 1 edge case."""
+    n = draw(st.integers(min_value=1, max_value=max_models))
+    d = draw(st.integers(min_value=1, max_value=max_datasets))
+    values = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=(d, n),
+            elements=st.floats(min_value=0.0, max_value=1.0),
+        )
+    )
+    return PerformanceMatrix(
+        dataset_names=[f"d{i}" for i in range(d)],
+        model_names=[f"m{j}" for j in range(n)],
+        values=values,
+    )
+
+
+class TestVectorizedMatrixProperties:
+    @given(performance_matrices(), st.integers(min_value=1, max_value=15))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_agrees_with_pairwise_loop(self, matrix, top_k):
+        """The vectorized engine reproduces the reference O(n^2) loop exactly,
+        including top_k larger than the dataset dimension and n = 1."""
+        fast = performance_similarity_matrix(matrix, top_k=top_k, cache=False)
+        slow = _performance_similarity_matrix_loop(matrix, top_k=top_k)
+        assert fast.shape == slow.shape
+        assert np.allclose(fast, slow, atol=1e-12, rtol=0.0)
+
+    @given(
+        performance_matrices(),
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chunking_never_changes_the_result(self, matrix, top_k, chunk_rows):
+        whole = performance_similarity_matrix(matrix, top_k=top_k, cache=False)
+        chunked = performance_similarity_matrix(
+            matrix, top_k=top_k, cache=False, chunk_rows=chunk_rows
+        )
+        assert np.array_equal(whole, chunked)
 
 
 class TestNnNumericalProperties:
