@@ -1,0 +1,19 @@
+# Convenience targets; everything is plain pytest/python underneath.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test docs-check bench-parallel examples
+
+test:
+	$(PY) -m pytest -x -q
+
+# Validate documentation: every fenced Python block in README/docs runs,
+# every intra-doc link (and anchor) resolves.
+docs-check:
+	$(PY) -m pytest tests/docs -q
+
+bench-parallel:
+	$(PY) benchmarks/bench_parallel_selection.py
+
+examples:
+	$(PY) -m pytest tests/integration/test_examples.py -q

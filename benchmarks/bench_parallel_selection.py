@@ -1,0 +1,165 @@
+"""Benchmark: serial vs parallel batched selection (docs/parallelism.md).
+
+Times :class:`repro.core.batch.BatchedSelectionRunner` over a batch of
+target tasks with the serial, thread and process executors, verifies that
+every backend returns **identical** :class:`~repro.core.results.SelectionResult`
+records (selected model, per-candidate final accuracies, epoch accounting),
+and reports the wall-clock speedups.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_selection.py [--quick]
+
+The script exits non-zero if any backend's report diverges from the serial
+reference, or if the process executor at 4 workers is less than 2x faster
+than the serial path (the PR's acceptance bar).  The speedup gate only
+applies where it is physically meaningful: on hosts exposing fewer than 2
+CPUs to this process (``os.sched_getaffinity``), no amount of parallelism
+can beat serial compute, so the gate is reported as skipped and the
+benchmark instead asserts that the parallel overhead stays under 25%.
+``--quick`` runs a reduced configuration without any timing gate for fast
+smoke checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Tuple
+
+from repro.core.batch import BatchedSelectionRunner, BatchSelectionReport
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OfflineArtifacts
+from repro.data.workloads import DataScale, suite_for_modality
+from repro.zoo.hub import ModelHub
+
+#: Executor specs compared against the serial reference.
+BACKENDS = ("thread:4", "process:4")
+#: Minimum accepted speedup of ``process:4`` over serial (full run only,
+#: multi-CPU hosts only).
+REQUIRED_SPEEDUP = 2.0
+#: Maximum accepted parallel *overhead* on single-CPU hosts, where a
+#: wall-clock speedup is impossible by construction.
+MAX_SINGLE_CPU_OVERHEAD = 1.25
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def build_artifacts(*, quick: bool, seed: int) -> Tuple[OfflineArtifacts, List[str]]:
+    """Offline artifacts plus the benchmark's target batch."""
+    scale = DataScale.small() if quick else DataScale.default()
+    suite = suite_for_modality("nlp", seed=seed, scale=scale)
+    hub = ModelHub(suite, seed=seed)
+    if quick:
+        hub = hub.subset(hub.model_names[:12])
+    config = PipelineConfig.for_modality("nlp")
+    artifacts = OfflineArtifacts.build(hub, suite, config=config)
+    # Batch over every dataset of the suite (benchmarks are valid targets
+    # too), so the fan-out has enough independent tasks to keep 4 workers
+    # busy.
+    targets = list(suite.dataset_names)[: 4 if quick else 12]
+    return artifacts, targets
+
+
+def run_batch(
+    artifacts: OfflineArtifacts, targets: List[str], parallel: str, *, seed: int
+) -> Tuple[float, BatchSelectionReport]:
+    """One timed batched-selection run with the given executor spec."""
+    runner = BatchedSelectionRunner(artifacts, seed=seed, parallel=parallel)
+    started = time.perf_counter()
+    report = runner.run(targets)
+    return time.perf_counter() - started, report
+
+
+def reports_identical(a: BatchSelectionReport, b: BatchSelectionReport) -> bool:
+    """Bitwise equality of everything a SelectionResult records."""
+    if a.target_names != b.target_names:
+        return False
+    for name in a.target_names:
+        ra, rb = a.result_for(name), b.result_for(name)
+        if (
+            ra.selected_model != rb.selected_model
+            or ra.selected_accuracy != rb.selected_accuracy
+            or ra.selection.runtime_epochs != rb.selection.runtime_epochs
+            or ra.selection.extra_epoch_cost != rb.selection.extra_epoch_cost
+            or ra.selection.final_accuracies != rb.selection.final_accuracies
+            or ra.recall.recall_scores != rb.recall.recall_scores
+            or ra.recall.recalled_models != rb.recall.recalled_models
+        ):
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced configuration (no speedup gate) for smoke runs",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    print("[offline] building performance matrix and clustering ...")
+    started = time.perf_counter()
+    artifacts, targets = build_artifacts(quick=args.quick, seed=args.seed)
+    print(
+        f"[offline] {len(artifacts.hub)} models, {len(targets)} target tasks, "
+        f"{time.perf_counter() - started:.1f}s"
+    )
+
+    serial_time, reference = run_batch(artifacts, targets, "serial", seed=args.seed)
+    print(f"  serial      {serial_time:8.2f}s   1.00x   (reference)")
+
+    failures: List[str] = []
+    speedups = {}
+    for spec in BACKENDS:
+        elapsed, report = run_batch(artifacts, targets, spec, seed=args.seed)
+        identical = reports_identical(reference, report)
+        speedups[spec] = serial_time / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"  {spec:<11} {elapsed:8.2f}s  {speedups[spec]:5.2f}x   "
+            f"identical={identical}"
+        )
+        if not identical:
+            failures.append(f"{spec} diverged from the serial reference")
+
+    cpus = available_cpus()
+    gate_note = ""
+    if not args.quick:
+        if cpus >= 2:
+            gate_note = f", process:4 >= {REQUIRED_SPEEDUP:.1f}x on {cpus} CPUs"
+            if speedups["process:4"] < REQUIRED_SPEEDUP:
+                failures.append(
+                    f"process:4 speedup {speedups['process:4']:.2f}x is below "
+                    f"the required {REQUIRED_SPEEDUP:.1f}x ({cpus} CPUs available)"
+                )
+        else:
+            # One CPU: a wall-clock speedup is impossible, so the meaningful
+            # bound is that the parallel machinery stays near-free.
+            overhead = 1.0 / speedups["process:4"]
+            gate_note = (
+                f"; speedup gate skipped on a single-CPU host "
+                f"(process:4 overhead {overhead:.2f}x <= {MAX_SINGLE_CPU_OVERHEAD}x)"
+            )
+            if overhead > MAX_SINGLE_CPU_OVERHEAD:
+                failures.append(
+                    f"process:4 overhead {overhead:.2f}x exceeds "
+                    f"{MAX_SINGLE_CPU_OVERHEAD}x on a single-CPU host"
+                )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: all backends identical to serial" + gate_note)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Two-phase recall-and-select framework for fast pre-trained model "
         "selection (ICDE 2024 reproduction)"

@@ -14,7 +14,12 @@ zoo:
   model clustering, coarse-recall, convergence-trend mining, fine-selection,
   baselines, end-to-end pipeline),
 * :mod:`repro.experiments` — harnesses regenerating every table and figure
-  of the paper's evaluation section.
+  of the paper's evaluation section,
+* :mod:`repro.parallel` — executor backends (serial/thread/process) the
+  online hot paths fan out over,
+* :mod:`repro.service` — the long-lived :class:`~repro.service.SelectionService`
+  answering many requests off one warm offline phase (the CLI front-end is
+  ``python -m repro``, see ``docs/cli.md``).
 
 Quickstart::
 
@@ -44,9 +49,11 @@ from repro.core import (
     build_performance_matrix,
 )
 from repro.data import DataScale, WorkloadSuite, cv_suite, nlp_suite
+from repro.parallel import ParallelConfig
+from repro.service import SelectionService
 from repro.zoo import FineTuner, ModelHub
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BatchSelectionReport",
@@ -67,5 +74,7 @@ __all__ = [
     "nlp_suite",
     "FineTuner",
     "ModelHub",
+    "ParallelConfig",
+    "SelectionService",
     "__version__",
 ]

@@ -1,0 +1,8 @@
+"""``python -m repro`` entry point (see :mod:`repro.cli` and docs/cli.md)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ artifact for later consumers.
 from __future__ import annotations
 
 import json
+import os
 import re
 import threading
 from collections import OrderedDict
@@ -213,18 +214,32 @@ class DiskCache:
         return None
 
     def put(self, key: str, value: Any) -> None:
-        """Persist ``value`` under ``key`` (arrays as .npy, scalars as .json)."""
+        """Persist ``value`` under ``key`` (arrays as .npy, scalars as .json).
+
+        Writes go to a writer-unique temporary file first (keyed by pid and
+        thread id) and are published with an atomic :func:`os.replace`, so
+        concurrent writers — thread pools within one process as well as
+        forked process workers sharing one cache directory — can never
+        leave a half-written artifact for a reader to load.
+        """
         stem = self._path_stem(key)
+        writer_id = f"{os.getpid()}-{threading.get_ident()}"
         if isinstance(value, np.ndarray):
-            np.save(stem.with_suffix(stem.suffix + ".npy"), value, allow_pickle=False)
+            final = stem.with_suffix(stem.suffix + ".npy")
+            tmp = final.with_name(f"{final.name}.tmp-{writer_id}")
+            with open(tmp, "wb") as handle:
+                np.save(handle, value, allow_pickle=False)
         else:
-            stem.with_suffix(stem.suffix + ".json").write_text(json.dumps(value))
+            final = stem.with_suffix(stem.suffix + ".json")
+            tmp = final.with_name(f"{final.name}.tmp-{writer_id}")
+            tmp.write_text(json.dumps(value))
+        os.replace(tmp, final)
         self.stats.record_put()
 
     def clear(self) -> None:
         """Delete every cached file in the directory."""
         for path in self.directory.glob("*"):
-            if path.suffix in (".npy", ".json"):
+            if path.suffix in (".npy", ".json") or path.suffix.startswith(".tmp-"):
                 path.unlink(missing_ok=True)
 
 

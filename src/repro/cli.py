@@ -1,0 +1,361 @@
+"""Command-line front-end: drive the selection system without writing Python.
+
+Four subcommands, all on top of :class:`repro.service.SelectionService` and
+the experiment runner (see ``docs/cli.md``)::
+
+    python -m repro select       # one target: coarse recall + fine selection
+    python -m repro batch        # many targets off one shared clustering
+    python -m repro experiments  # regenerate the paper's tables and figures
+    python -m repro bench        # serial-vs-parallel batched-selection timing
+
+Every command accepts ``--scale small`` for fast smoke runs and
+``--parallel backend[:workers]`` (or the ``REPRO_PARALLEL`` environment
+variable) to pick an executor; ``select`` and ``batch`` can emit JSON for
+scripting with ``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.results import TwoPhaseResult
+from repro.parallel.config import BACKENDS, ParallelConfig
+from repro.utils.exceptions import ReproError
+
+
+# --------------------------------------------------------------------------- #
+# shared argument plumbing
+# --------------------------------------------------------------------------- #
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--modality",
+        choices=("nlp", "cv"),
+        default="nlp",
+        help="which simulated repository to serve (default: nlp)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("full", "small"),
+        default="full",
+        help="dataset scale; 'small' keeps smoke runs fast (default: full)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed (default: 0)")
+    parser.add_argument(
+        "--num-models",
+        type=int,
+        default=None,
+        metavar="N",
+        help="truncate the repository to its first N catalogue entries",
+    )
+    parser.add_argument(
+        "--parallel",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "executor spec 'backend[:workers]' with backend one of "
+            f"{'/'.join(BACKENDS)} (default: REPRO_PARALLEL or serial)"
+        ),
+    )
+
+
+def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
+    if args.parallel is not None:
+        return ParallelConfig.from_spec(args.parallel)
+    return ParallelConfig.from_env()
+
+
+def _build_service(args: argparse.Namespace):
+    from repro.service import SelectionService
+
+    return SelectionService.from_modality(
+        args.modality,
+        scale=args.scale,
+        seed=args.seed,
+        num_models=args.num_models,
+        parallel=_parallel_config(args),
+    )
+
+
+def _result_payload(result: TwoPhaseResult) -> Dict[str, object]:
+    """JSON-friendly view of one two-phase result."""
+    return {
+        "target": result.target_name,
+        "selected_model": result.selected_model,
+        "selected_accuracy": result.selected_accuracy,
+        "total_cost": result.total_cost,
+        "runtime_epochs": result.selection.runtime_epochs,
+        "recall_epoch_cost": result.recall.epoch_cost,
+        "recalled_models": list(result.recall.recalled_models),
+    }
+
+
+def _print_result(result: TwoPhaseResult, *, stream) -> None:
+    print(f"target          : {result.target_name}", file=stream)
+    print(f"selected model  : {result.selected_model}", file=stream)
+    print(f"test accuracy   : {result.selected_accuracy:.3f}", file=stream)
+    print(
+        f"total cost      : {result.total_cost:.1f} epoch-equivalents "
+        f"({result.selection.runtime_epochs:.0f} fine-tuning epochs + "
+        f"{result.recall.epoch_cost:.1f} proxy)",
+        file=stream,
+    )
+    print(f"recalled models : {len(result.recall.recalled_models)}", file=stream)
+    for rank, name in enumerate(result.recall.recalled_models, start=1):
+        marker = "*" if name == result.selected_model else " "
+        print(
+            f"  {marker} {rank:2d}. {name} "
+            f"(recall score {result.recall.recall_scores[name]:.3f})",
+            file=stream,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_select(args: argparse.Namespace, stream) -> int:
+    service = _build_service(args)
+    started = time.perf_counter()
+    result = service.select(args.target, top_k=args.top_k)
+    elapsed = time.perf_counter() - started
+    if args.json:
+        payload = _result_payload(result)
+        payload["elapsed_seconds"] = elapsed
+        json.dump(payload, stream, indent=2)
+        print(file=stream)
+    else:
+        _print_result(result, stream=stream)
+        print(f"online time     : {elapsed:.2f}s "
+              f"(parallel={service.parallel_spec})", file=stream)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace, stream) -> int:
+    service = _build_service(args)
+    targets = args.targets or service.target_names
+    started = time.perf_counter()
+    report = service.select_many(targets, top_k=args.top_k)
+    elapsed = time.perf_counter() - started
+    if args.json:
+        payload = {
+            "targets": {
+                name: _result_payload(report.result_for(name))
+                for name in report.target_names
+            },
+            "totals": report.summary(),
+            "elapsed_seconds": elapsed,
+        }
+        json.dump(payload, stream, indent=2)
+        print(file=stream)
+        return 0
+    width = max(len(name) for name in report.target_names)
+    print(f"batched selection over {len(report.target_names)} targets "
+          f"(parallel={service.parallel_spec}):", file=stream)
+    for name in report.target_names:
+        result = report.result_for(name)
+        print(
+            f"  {name:<{width}}  -> {result.selected_model}  "
+            f"acc={result.selected_accuracy:.3f}  cost={result.total_cost:.1f}",
+            file=stream,
+        )
+    totals = report.summary()
+    print(
+        f"totals: {totals['total_cost']:.1f} epoch-equivalents over "
+        f"{int(totals['num_tasks'])} tasks, mean accuracy "
+        f"{totals['mean_selected_accuracy']:.3f}, wall time {elapsed:.2f}s",
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace, stream) -> int:
+    from repro.experiments.runner import render_report, run_all
+
+    try:
+        # scale=None lets run_all fall back to REPRO_EXPERIMENT_SCALE.
+        outputs = run_all(
+            scale=args.scale,
+            seed=args.seed,
+            only=args.only,
+            modalities=tuple(args.modalities),
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    text = render_report(outputs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(outputs)} experiment block(s) to {args.out}", file=stream)
+    else:
+        print(text, file=stream)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, stream) -> int:
+    from repro.core.batch import BatchedSelectionRunner
+    from repro.core.pipeline import OfflineArtifacts
+    from repro.data.workloads import DataScale, suite_for_modality
+    from repro.core.config import PipelineConfig
+    from repro.zoo.hub import ModelHub
+
+    data_scale = DataScale.default() if args.scale == "full" else DataScale.small()
+    suite = suite_for_modality(args.modality, seed=args.seed, scale=data_scale)
+    hub = ModelHub(suite, seed=args.seed)
+    if args.num_models is not None:
+        hub = hub.subset(hub.model_names[: args.num_models])
+    config = PipelineConfig.for_modality(args.modality)
+    print(
+        f"[offline] building artifacts for {len(hub)} {args.modality} models ...",
+        file=stream,
+    )
+    artifacts = OfflineArtifacts.build(hub, suite, config=config)
+    targets = (args.targets or list(suite.dataset_names))[: args.tasks]
+    # --parallel (or REPRO_PARALLEL) names the comparison executor
+    # directly; --backend/--workers are the shorthand otherwise.
+    config = _parallel_config(args)
+    if config.backend == "serial":
+        if args.parallel:
+            print("error: bench needs a parallel spec to compare against "
+                  "serial (e.g. --parallel process:4)", file=sys.stderr)
+            return 2
+        config = ParallelConfig(args.backend, args.workers)
+    spec = config.spec()
+
+    def timed(parallel) -> tuple:
+        runner = BatchedSelectionRunner(artifacts, seed=args.seed, parallel=parallel)
+        started = time.perf_counter()
+        report = runner.run(targets)
+        return time.perf_counter() - started, report
+
+    print(f"[bench] {len(targets)} targets, serial vs {spec} ...", file=stream)
+    serial_time, serial_report = timed("serial")
+    parallel_time, parallel_report = timed(spec)
+    identical = all(
+        serial_report.result_for(name).selected_model
+        == parallel_report.result_for(name).selected_model
+        and serial_report.result_for(name).selection.final_accuracies
+        == parallel_report.result_for(name).selection.final_accuracies
+        for name in serial_report.target_names
+    )
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    print(f"  serial   : {serial_time:8.2f}s", file=stream)
+    print(f"  {spec:<9}: {parallel_time:8.2f}s  ({speedup:.2f}x)", file=stream)
+    print(f"  identical results: {identical}", file=stream)
+    return 0 if identical else 1
+
+
+# --------------------------------------------------------------------------- #
+# parser wiring
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Two-phase recall-and-select model selection (ICDE 2024 "
+            "reproduction): serve selection queries, batches, experiments "
+            "and benchmarks from the command line."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    select = commands.add_parser(
+        "select", help="select a checkpoint for one target task"
+    )
+    _add_common_arguments(select)
+    select.add_argument("--target", required=True, help="target dataset name")
+    select.add_argument(
+        "--top-k", type=int, default=None, help="models recalled into phase 2"
+    )
+    select.add_argument("--json", action="store_true", help="emit JSON")
+    select.set_defaults(handler=_cmd_select)
+
+    batch = commands.add_parser(
+        "batch", help="select checkpoints for many targets off one clustering"
+    )
+    _add_common_arguments(batch)
+    batch.add_argument(
+        "--targets",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="target dataset names (default: every target of the modality)",
+    )
+    batch.add_argument(
+        "--top-k", type=int, default=None, help="models recalled into phase 2"
+    )
+    batch.add_argument("--json", action="store_true", help="emit JSON")
+    batch.set_defaults(handler=_cmd_batch)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="ID",
+        help="experiment ids (e.g. fig1 table6); default: all",
+    )
+    experiments.add_argument(
+        "--modalities",
+        nargs="+",
+        choices=("nlp", "cv"),
+        default=("nlp", "cv"),
+        help="modalities to run (default: both)",
+    )
+    experiments.add_argument(
+        "--scale", choices=("full", "small"), default=None,
+        help="experiment scale (default: REPRO_EXPERIMENT_SCALE or full)",
+    )
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--out", default=None, metavar="FILE", help="write the report to FILE"
+    )
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    bench = commands.add_parser(
+        "bench", help="time batched selection: serial vs parallel executor"
+    )
+    _add_common_arguments(bench)
+    bench.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="process",
+        help="parallel backend to compare against serial (default: process)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=4, help="worker count (default: 4)"
+    )
+    bench.add_argument(
+        "--tasks", type=int, default=8, help="number of target tasks (default: 8)"
+    )
+    bench.add_argument(
+        "--targets",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="explicit target dataset names (default: first --tasks datasets)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, *, stream=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, stream)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — conventional silent exit.
+        return 0

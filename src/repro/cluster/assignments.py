@@ -1,4 +1,11 @@
-"""Cluster-assignment container shared by k-means and hierarchical clustering."""
+"""Cluster-assignment container shared by k-means and hierarchical clustering.
+
+Backs the paper's offline model-clustering step (Section III): the
+assignment's singleton/non-singleton split is what routes each model
+through Eq. 2/3 (representative proxy score) or Eq. 4 (similarity-propagated
+score) during coarse recall, and its membership tables feed the paper's
+Table II/III cluster analyses.
+"""
 
 from __future__ import annotations
 

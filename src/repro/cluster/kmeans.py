@@ -1,4 +1,10 @@
-"""K-means clustering (Lloyd's algorithm with k-means++ initialisation)."""
+"""K-means clustering (Lloyd's algorithm with k-means++ initialisation).
+
+Two roles in the reproduction: the k-means alternative to hierarchical
+model clustering in the paper's Table I comparison, and the grouping of
+benchmark validation accuracies into convergence trends for the Eq. 5/6
+prediction (:mod:`repro.core.convergence`, Fig. 4).
+"""
 
 from __future__ import annotations
 

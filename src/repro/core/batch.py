@@ -32,38 +32,50 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.recall import CoarseRecall
 from repro.core.results import (
+    RecallResult,
     SelectionResult,
     TwoPhaseResult,
     aggregate_epoch_accounting,
 )
 from repro.core.selection import FineSelection
 from repro.data.tasks import ClassificationTask
+from repro.parallel.config import ParallelConfig
+from repro.parallel.executor import Executor, ExecutorLike, get_executor
 from repro.utils.exceptions import SelectionError
 from repro.zoo.finetune import FineTuner
 
 TargetLike = Union[str, ClassificationTask]
 
 
-def build_phase_engines(artifacts, fine_tuner: FineTuner):
+def build_phase_engines(
+    artifacts, fine_tuner: FineTuner, *, parallel: ExecutorLike = None
+):
     """Construct the online-phase engine pair for one set of offline artifacts.
 
     Shared by :class:`BatchedSelectionRunner` and
     :class:`~repro.core.pipeline.TwoPhaseSelector` so the two entry points
     can never drift in how they wire :class:`CoarseRecall` and
-    :class:`FineSelection`.
+    :class:`FineSelection`.  ``parallel`` (an executor, config or spec
+    string) overrides ``artifacts.config.parallel`` as the executor both
+    engines fan their inner loops out over.
     """
     config = artifacts.config
+    executor = get_executor(
+        parallel if parallel is not None else getattr(config, "parallel", None)
+    )
     recall = CoarseRecall(
         artifacts.hub,
         artifacts.matrix,
         artifacts.clustering,
         config=config.recall,
+        executor=executor,
     )
     fine_selection = FineSelection(
         artifacts.hub,
         artifacts.matrix,
         fine_tuner,
         config=config.fine_selection,
+        executor=executor,
     )
     return recall, fine_selection
 
@@ -154,11 +166,19 @@ class BatchedSelectionRunner:
         :meth:`~repro.core.pipeline.TwoPhaseSelector.select_many` so batched
         queries reuse the selector's existing engines instead of
         constructing fresh ones per call.
+    parallel:
+        Executor, :class:`~repro.parallel.config.ParallelConfig` or spec
+        string controlling the **per-task fan-out** of :meth:`run`: with a
+        thread or process backend, each target's coarse-recall +
+        fine-selection runs on its own worker.  Defaults to
+        ``artifacts.config.parallel``.  Every task is independent (named
+        per-``(model, task)`` random streams), so all backends return
+        reports identical to the serial path.
 
     One :class:`~repro.core.recall.CoarseRecall` and one
-    :class:`~repro.core.selection.FineSelection` instance are dispatched per
-    task via :meth:`~repro.core.selection._SelectionBase.run_many`, so the
-    batch pays the offline cost exactly once regardless of its size.
+    :class:`~repro.core.selection.FineSelection` instance are shared by
+    every task, so the batch pays the offline cost exactly once regardless
+    of its size.
     """
 
     def __init__(
@@ -169,15 +189,21 @@ class BatchedSelectionRunner:
         seed: int = 0,
         recall: Optional[CoarseRecall] = None,
         fine_selection: Optional[FineSelection] = None,
+        parallel: ExecutorLike = None,
     ) -> None:
         self.artifacts = artifacts
         self.fine_tuner = fine_tuner or FineTuner(seed=seed)
+        if parallel is None:
+            parallel = getattr(artifacts.config, "parallel", None)
+        self._executor = get_executor(parallel)
         if (recall is None) != (fine_selection is None):
             raise SelectionError(
                 "recall and fine_selection must be supplied together"
             )
         if recall is None:
-            recall, fine_selection = build_phase_engines(artifacts, self.fine_tuner)
+            recall, fine_selection = build_phase_engines(
+                artifacts, self.fine_tuner, parallel=self._executor
+            )
         self._recall = recall
         self._fine_selection = fine_selection
 
@@ -204,16 +230,29 @@ class BatchedSelectionRunner:
     def _resolve_task(self, target: TargetLike) -> ClassificationTask:
         return resolve_target_task(self.artifacts.suite, target)
 
+    def _run_single(
+        self, task: ClassificationTask, top_k: Optional[int]
+    ) -> Tuple[RecallResult, SelectionResult]:
+        """One target's coarse recall + fine selection (a fan-out unit)."""
+        recall_result = self._recall.recall(task, top_k=top_k)
+        selection_result = self._fine_selection.run(
+            recall_result.recalled_models, task
+        )
+        return recall_result, selection_result
+
     def run(
         self, targets: Sequence[TargetLike], *, top_k: Optional[int] = None
     ) -> BatchSelectionReport:
         """Select a checkpoint for every target task in the batch.
 
-        Phase 1 (coarse recall) runs per task against the shared clustering;
-        phase 2 dispatches all ``(recalled candidates, task)`` jobs through
-        one :class:`FineSelection` engine.  Each task's recall proxy cost is
-        recorded on its ``SelectionResult.extra_epoch_cost``, exactly as the
-        single-task :class:`~repro.core.pipeline.TwoPhaseSelector` does.
+        Each target runs coarse recall against the shared clustering
+        followed by fine selection through the shared
+        :class:`FineSelection` engine; with a parallel executor the whole
+        per-target unit is fanned out across workers, and results are
+        collected in submission order so the report is identical to the
+        serial path.  Each task's recall proxy cost is recorded on its
+        ``SelectionResult.extra_epoch_cost``, exactly as the single-task
+        :class:`~repro.core.pipeline.TwoPhaseSelector` does.
         """
         tasks = [self._resolve_task(target) for target in targets]
         if not tasks:
@@ -224,15 +263,27 @@ class BatchedSelectionRunner:
                 raise SelectionError(f"duplicate target {task.name!r} in batch")
             seen[task.name] = None
 
-        recall_results = [self._recall.recall(task, top_k=top_k) for task in tasks]
-        jobs: List[Tuple[Sequence[str], ClassificationTask]] = [
-            (recall.recalled_models, task)
-            for recall, task in zip(recall_results, tasks)
-        ]
-        selection_results = self._fine_selection.run_many(jobs)
+        if self._executor.backend != "serial" and len(tasks) > 1:
+            # Materialise every lazy checkpoint once before fanning out, so
+            # thread workers never race hub construction and forked process
+            # workers inherit the models copy-on-write instead of each
+            # rebuilding them.  Likewise pre-train the cluster
+            # representatives' source heads when the proxy scorer needs the
+            # source posterior (LEEP/NCE): the lazy training is lock-guarded
+            # but doing it up front keeps workers contention-free and shares
+            # the heads with forked children.
+            self.artifacts.hub.models()
+            if getattr(self._recall._scorer, "uses_source_posterior", False):
+                for name in sorted(
+                    set(self.artifacts.clustering.representatives.values())
+                ):
+                    self.artifacts.hub.get(name).source_head()
+        pairs = self._executor.map(
+            lambda task: self._run_single(task, top_k), tasks
+        )
 
         report = BatchSelectionReport()
-        for task, recall, selection in zip(tasks, recall_results, selection_results):
+        for task, (recall, selection) in zip(tasks, pairs):
             selection.extra_epoch_cost = recall.epoch_cost
             report.results[task.name] = TwoPhaseResult(
                 target_name=task.name,

@@ -1,10 +1,21 @@
-"""Configuration objects of the two-phase selection framework."""
+"""Configuration objects of the two-phase selection framework.
+
+Defaults follow the paper's experimental setup (Section V): hierarchical
+clustering on the Eq. 1 performance similarity with top-k = 5 (Appendix D),
+LEEP as the coarse-recall proxy with K = 10 recalled models and a 0.5
+epoch-equivalent charge per proxy inference (Table VI), and a fine-tuning
+budget of 5 epochs for NLP / 4 for CV with the Table IV trend-filter
+threshold.  :class:`PipelineConfig.parallel` additionally selects the
+executor backend for the online hot paths (not part of the paper; see
+``docs/parallelism.md``).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.parallel.config import ParallelConfig
 from repro.utils.exceptions import ConfigurationError
 
 
@@ -137,12 +148,19 @@ class FineSelectionConfig:
 
 @dataclass(frozen=True)
 class PipelineConfig:
-    """End-to-end two-phase pipeline configuration."""
+    """End-to-end two-phase pipeline configuration.
+
+    ``parallel`` selects the executor backend and worker count shared by
+    the online hot paths (proxy scoring, stage training, batched per-task
+    fan-out); the default is serial execution.  All backends return
+    identical results — see ``docs/parallelism.md``.
+    """
 
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     recall: RecallConfig = field(default_factory=RecallConfig)
     fine_selection: FineSelectionConfig = field(default_factory=FineSelectionConfig)
     offline_epochs: Optional[int] = None
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.offline_epochs is not None and self.offline_epochs < 1:

@@ -72,11 +72,13 @@ class TwoPhaseSelector:
         *,
         fine_tuner: Optional[FineTuner] = None,
         seed: int = 0,
+        parallel=None,
     ) -> None:
         self.artifacts = artifacts
         self.fine_tuner = fine_tuner or FineTuner(seed=seed)
+        self._parallel = parallel
         self._recall, self._fine_selection = build_phase_engines(
-            artifacts, self.fine_tuner
+            artifacts, self.fine_tuner, parallel=parallel
         )
 
     # ------------------------------------------------------------------ #
@@ -89,10 +91,16 @@ class TwoPhaseSelector:
         config: Optional[PipelineConfig] = None,
         fine_tuner: Optional[FineTuner] = None,
         seed: int = 0,
+        parallel=None,
     ) -> "TwoPhaseSelector":
-        """Build the offline artifacts and wrap them in a selector."""
+        """Build the offline artifacts and wrap them in a selector.
+
+        ``parallel`` (an executor, :class:`~repro.parallel.ParallelConfig`
+        or ``"backend[:workers]"`` spec) overrides the configuration's
+        executor for the online hot paths.
+        """
         artifacts = OfflineArtifacts.build(hub, suite, config=config, fine_tuner=fine_tuner)
-        return cls(artifacts, fine_tuner=fine_tuner, seed=seed)
+        return cls(artifacts, fine_tuner=fine_tuner, seed=seed, parallel=parallel)
 
     # ------------------------------------------------------------------ #
     def _resolve_task(self, target: Union[str, ClassificationTask]) -> ClassificationTask:
@@ -133,6 +141,7 @@ class TwoPhaseSelector:
             fine_tuner=self.fine_tuner,
             recall=self._recall,
             fine_selection=self._fine_selection,
+            parallel=self._parallel,
         )
         return runner.run(targets, top_k=top_k)
 

@@ -13,6 +13,14 @@ it with each model's prior average benchmark accuracy:
   the singleton model and each representative.
 
 The top-K models by recall score move on to the fine-selection phase.
+
+Proxy scoring is embarrassingly parallel across cluster representatives, so
+:class:`CoarseRecall` accepts an :class:`~repro.parallel.executor.Executor`
+and fans the per-representative scores out over it.  Scores are
+order-independent by construction (subsampling is seeded from the proxy
+cache key, never from a shared stream — see
+:class:`repro.metrics.registry.CachedScorer`), so the serial, thread and
+process backends return identical :class:`RecallResult` records.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.core.results import RecallResult
 from repro.data.tasks import ClassificationTask
 from repro.metrics.normalization import min_max_normalize
 from repro.metrics.registry import get_scorer
+from repro.parallel.executor import Executor, get_executor
 from repro.utils.exceptions import SelectionError
 from repro.utils.rng import as_generator
 from repro.zoo.hub import ModelHub
@@ -44,6 +53,7 @@ class CoarseRecall:
         *,
         config: Optional[RecallConfig] = None,
         rng=None,
+        executor: Optional[Executor] = None,
     ) -> None:
         missing = [name for name in hub.model_names if name not in matrix.model_names]
         if missing:
@@ -54,10 +64,18 @@ class CoarseRecall:
         self.matrix = matrix
         self.clustering = clustering
         self.config = config or RecallConfig()
+        # ``deterministic=True`` seeds any proxy subsampling from the score's
+        # content key, so scoring is independent of evaluation order and the
+        # executor backends below all produce identical recall results.  As
+        # a consequence ``rng`` no longer influences proxy scores; it is
+        # kept (and normalised) only for signature compatibility.
         self._scorer = get_scorer(
-            self.config.proxy_score, cached=self.config.cache_proxy_scores
+            self.config.proxy_score,
+            cached=self.config.cache_proxy_scores,
+            deterministic=True,
         )
         self._rng = as_generator(rng)
+        self._executor = get_executor(executor)
 
     # ------------------------------------------------------------------ #
     def recall(self, task: ClassificationTask, *, top_k: Optional[int] = None) -> RecallResult:
@@ -100,16 +118,22 @@ class CoarseRecall:
     def _score_representatives(
         self, representatives: Dict[int, str], task: ClassificationTask
     ) -> Dict[str, float]:
-        scores: Dict[str, float] = {}
-        for model_name in sorted(set(representatives.values())):
-            model = self.hub.get(model_name)
-            scores[model_name] = self._scorer.score(
+        names = sorted(set(representatives.values()))
+        # Materialise the checkpoints up front (hub construction is lazy),
+        # so workers only run scorer inference.
+        models = [self.hub.get(name) for name in names]
+
+        def score_one(model) -> float:
+            # No rng is passed: the deterministic scorer wrapper seeds any
+            # subsampling from the score's content key.
+            return self._scorer.score(
                 model,
                 task,
                 max_samples=self.config.max_proxy_samples,
-                rng=self._rng,
             )
-        return scores
+
+        values = self._executor.map(score_one, models)
+        return dict(zip(names, values))
 
     @staticmethod
     def _normalise(raw_scores: Dict[str, float]) -> Dict[str, float]:

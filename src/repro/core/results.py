@@ -1,4 +1,11 @@
-"""Result records returned by the recall and selection phases."""
+"""Result records returned by the recall and selection phases.
+
+:class:`RecallResult` carries the Eq. 2–4 recall scores of the paper's
+coarse-recall phase; :class:`SelectionResult` and :class:`TwoPhaseResult`
+carry the epoch accounting of Algorithm 1 in the cost unit of the paper's
+Tables V/VI (fine-tuning epochs, plus proxy inference charged at half an
+epoch per scored representative in ``extra_epoch_cost``).
+"""
 
 from __future__ import annotations
 

@@ -13,6 +13,12 @@ every fine-tuning epoch spent — the cost unit of the paper's Tables V/VI.
   final accuracy from its benchmark convergence trends and drops candidates
   whose predicted ceiling is below a better-validating competitor's by more
   than a threshold — allowing it to cut more than half per stage.
+
+Within each stage, the surviving candidates train independently (every
+session owns a per-``(model, task)`` named random stream), so the stage's
+epoch training fans out over an :class:`~repro.parallel.executor.Executor`;
+results are collected in candidate order and all backends — serial, thread,
+process — produce identical :class:`SelectionResult` records.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.core.convergence import ConvergenceTrendMiner
 from repro.core.performance import PerformanceMatrix
 from repro.core.results import SelectionResult, StageRecord
 from repro.data.tasks import ClassificationTask
+from repro.parallel.executor import Executor, get_executor
 from repro.utils.exceptions import SelectionError
 from repro.zoo.finetune import FineTuneSession, FineTuner
 from repro.zoo.hub import ModelHub
@@ -42,10 +49,12 @@ class _SelectionBase:
         fine_tuner: Optional[FineTuner] = None,
         *,
         config: Optional[FineSelectionConfig] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.hub = hub
         self.fine_tuner = fine_tuner or FineTuner(seed=0)
         self.config = config or FineSelectionConfig()
+        self._executor = get_executor(executor)
 
     # ------------------------------------------------------------------ #
     def _check_candidates(self, candidates: Sequence[str]) -> List[str]:
@@ -61,19 +70,6 @@ class _SelectionBase:
         """Select among ``candidates`` on ``task``; implemented by subclasses."""
         raise NotImplementedError
 
-    def run_many(
-        self, jobs: Sequence[Tuple[Sequence[str], ClassificationTask]]
-    ) -> List[SelectionResult]:
-        """Run one selection per ``(candidates, task)`` job.
-
-        Every job reuses this instance's hub, fine-tuner and configuration
-        (and, for :class:`FineSelection`, its performance matrix and trend
-        miner) — the per-task work is only the online fine-tuning.  Used by
-        :class:`repro.core.batch.BatchedSelectionRunner` to amortise the
-        offline artifacts across a batch of target tasks.
-        """
-        return [self.run(candidates, task) for candidates, task in jobs]
-
     def _start_sessions(
         self, candidates: Sequence[str], task: ClassificationTask
     ) -> Dict[str, FineTuneSession]:
@@ -81,6 +77,33 @@ class _SelectionBase:
             name: self.fine_tuner.start_session(self.hub.get(name), task)
             for name in candidates
         }
+
+    def _train_stage(
+        self,
+        sessions: Dict[str, FineTuneSession],
+        names: Sequence[str],
+        epochs: int,
+    ) -> int:
+        """Advance every named session by ``epochs`` epochs, possibly in parallel.
+
+        Sessions are independent (per-``(model, task)`` random streams), so
+        the training order cannot influence the curves; results are
+        reassigned in candidate order.  With the process backend the trained
+        session objects are pickled back from the forked workers, which is
+        what lets stage training cross process boundaries transparently.
+
+        Returns the number of fine-tuning epochs spent.
+        """
+        ordered = list(names)
+
+        def train_one(name: str) -> Tuple[str, FineTuneSession]:
+            session = sessions[name]
+            session.train_epochs(epochs)
+            return name, session
+
+        for name, session in self._executor.map(train_one, ordered):
+            sessions[name] = session
+        return epochs * len(ordered)
 
     @staticmethod
     def _result_from_sessions(
@@ -122,10 +145,7 @@ class BruteForceSelection(_SelectionBase):
         names = self._check_candidates(candidates)
         sessions = self._start_sessions(names, task)
         total_epochs = self.config.total_epochs
-        runtime = 0
-        for name in names:
-            sessions[name].train_epochs(total_epochs)
-            runtime += total_epochs
+        runtime = self._train_stage(sessions, names, total_epochs)
         validations = {name: sessions[name].curve.final_val for name in names}
         winner = max(names, key=lambda name: (validations[name], -names.index(name)))
         stage = StageRecord(
@@ -159,9 +179,7 @@ class SuccessiveHalving(_SelectionBase):
         runtime = 0
         stages: List[StageRecord] = []
         for stage_index in range(num_stages):
-            for name in surviving:
-                sessions[name].train_epochs(interval)
-                runtime += interval
+            runtime += self._train_stage(sessions, surviving, interval)
             validations = {
                 name: sessions[name].validation_accuracy() for name in surviving
             }
@@ -204,8 +222,9 @@ class FineSelection(_SelectionBase):
         *,
         config: Optional[FineSelectionConfig] = None,
         trend_miner: Optional[ConvergenceTrendMiner] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
-        super().__init__(hub, fine_tuner, config=config)
+        super().__init__(hub, fine_tuner, config=config, executor=executor)
         self.matrix = matrix
         self.trend_miner = trend_miner or ConvergenceTrendMiner(
             num_trends=self.config.num_trends
@@ -222,9 +241,7 @@ class FineSelection(_SelectionBase):
         runtime = 0
         stages: List[StageRecord] = []
         for stage_index in range(num_stages):
-            for name in surviving:
-                sessions[name].train_epochs(interval)
-                runtime += interval
+            runtime += self._train_stage(sessions, surviving, interval)
             validations = {
                 name: sessions[name].validation_accuracy() for name in surviving
             }

@@ -96,6 +96,7 @@ def run_batched_selection(
     top_k: Optional[int] = None,
     scale: Optional[str] = None,
     seed: int = 0,
+    parallel=None,
 ) -> BatchSelectionReport:
     """Run the two-phase pipeline for a batch of targets of one modality.
 
@@ -103,11 +104,23 @@ def run_batched_selection(
     selector (and its offline artifacts), so the offline phase is shared
     with every other experiment of the same ``(modality, scale, seed)``
     triple.  ``targets`` defaults to every target dataset of the modality's
-    workload suite.
+    workload suite.  ``parallel`` (an executor,
+    :class:`~repro.parallel.ParallelConfig` or ``"backend[:workers]"``
+    spec) fans the per-target work out across workers; every backend
+    returns the same report as the serial path.
     """
+    from repro.core.batch import BatchedSelectionRunner
+
     context = get_context(modality, scale=scale, seed=seed)
     resolved = context.target_names if targets is None else list(targets)
-    return context.selector.select_many(resolved, top_k=top_k)
+    if parallel is None:
+        return context.selector.select_many(resolved, top_k=top_k)
+    runner = BatchedSelectionRunner(
+        context.selector.artifacts,
+        fine_tuner=context.selector.fine_tuner,
+        parallel=parallel,
+    )
+    return runner.run(resolved, top_k=top_k)
 
 
 def render_report(outputs: Dict[str, str]) -> str:

@@ -1,4 +1,10 @@
-"""Common interface of proxy (transferability) scorers."""
+"""Common interface of proxy (transferability) scorers.
+
+Proxy scores are the lightweight signal of the paper's coarse-recall phase
+(Section III): each cluster representative is scored on the target dataset
+without any fine-tuning, entering the Eq. 2/3 recall score and charged at
+half an epoch-equivalent per inference in the Table V/VI cost accounting.
+"""
 
 from __future__ import annotations
 

@@ -1,5 +1,10 @@
 """H-score transferability estimate (Bao et al., ICIP 2019).
 
+One of the proxy-score choices for the paper's coarse-recall phase
+(Eq. 2/3); the LEEP default can be swapped for it via
+``RecallConfig(proxy_score="hscore")`` (exercised by the proxy-score
+ablation experiment).
+
 The H-score measures how much of the representation's variance is explained
 by the class-conditional means:
 

@@ -1,5 +1,9 @@
 """LogME: Log of Maximum Evidence (You et al., ICML 2021).
 
+One of the proxy-score choices for the paper's coarse-recall phase
+(Eq. 2/3), selectable via ``RecallConfig(proxy_score="logme")`` and
+compared against LEEP in the proxy-score ablation experiment.
+
 LogME estimates transferability from the frozen *representation* (not the
 source posterior): for each target class it fits a Bayesian linear model on
 the encoder features with a one-vs-rest target and computes the log marginal

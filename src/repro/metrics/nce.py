@@ -5,6 +5,10 @@ entropy of the target label given the source model's *hard* prediction on
 each target sample: ``NCE = -H(Y | Z)``.  Like LEEP it requires no training;
 higher (closer to zero) values mean the source predictions already carry
 most of the information needed to separate the target classes.
+
+One of the proxy-score choices for the paper's coarse-recall phase
+(Eq. 2/3), selectable via ``RecallConfig(proxy_score="nce")`` and compared
+against LEEP in the proxy-score ablation experiment.
 """
 
 from __future__ import annotations

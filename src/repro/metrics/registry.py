@@ -122,11 +122,23 @@ class CachedScorer(ProxyScorer):
         return self.inner.score_arrays(inputs, labels, num_classes=num_classes)
 
 
-def get_scorer(name: str, *, cached: bool = False, cache: CacheLike = None) -> ProxyScorer:
+def get_scorer(
+    name: str,
+    *,
+    cached: bool = False,
+    cache: CacheLike = None,
+    deterministic: bool = False,
+) -> ProxyScorer:
     """Instantiate the scorer registered under ``name``.
 
     With ``cached=True`` the scorer is wrapped in :class:`CachedScorer`,
     memoising scores in ``cache`` (the process default when ``None``).
+    With ``deterministic=True`` (and ``cached=False``) the scorer is wrapped
+    in a non-caching :class:`CachedScorer`, which still derives any
+    subsampling seed from the content key instead of the caller's RNG —
+    making scores independent of evaluation *order*, which is what lets the
+    coarse-recall phase fan proxy scoring out over threads or processes and
+    stay bitwise identical to the serial path.
     """
     if name not in _FACTORIES:
         raise ConfigurationError(
@@ -135,4 +147,6 @@ def get_scorer(name: str, *, cached: bool = False, cache: CacheLike = None) -> P
     scorer = _FACTORIES[name]()
     if cached:
         return CachedScorer(scorer, cache=cache)
+    if deterministic:
+        return CachedScorer(scorer, cache=False)
     return scorer

@@ -1,0 +1,211 @@
+"""Executor backends: serial, thread pool and fork-based process pool.
+
+All executors implement one contract — :meth:`Executor.map` applies a
+callable to every item and returns the results **in input order**, whatever
+the completion order of the workers.  Combined with the library's
+order-independent randomness (per-``(model, task)`` named streams, see
+:mod:`repro.utils.rng`), this makes every parallel hot path bitwise
+reproducible: the serial, thread and process backends return identical
+:class:`~repro.core.results.SelectionResult` records.
+
+Executors are deliberately **stateless** (configuration only): each
+:meth:`map` call builds and tears down its own pool.  That keeps every
+executor picklable and fork-safe — a forked worker process never inherits a
+half-alive thread or process pool — at the cost of a small per-call pool
+start-up, which is negligible next to the fine-tuning work being dispatched.
+
+:class:`ProcessExecutor` ships work to forked children through a module-level
+snapshot: the callable and items are published under a lock, the pool forks
+(children inherit the snapshot copy-on-write), and only integer indices and
+results cross the pipe.  This lets arbitrary closures over large offline
+artifacts be dispatched without pickling the artifacts themselves; only the
+per-item **results** must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from repro.parallel.config import ParallelConfig
+from repro.utils.exceptions import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Snapshot handed to forked workers: ``(callable, items)``.
+_FORK_PAYLOAD: Optional[tuple] = None
+#: Guards the publish-payload → fork-pool window (and its cleanup).
+_FORK_LOCK = threading.Lock()
+
+
+def _invoke_payload(index: int):
+    """Run one item of the forked snapshot (executes in the child process)."""
+    fn, items = _FORK_PAYLOAD
+    return fn(items[index])
+
+
+def _in_worker_process() -> bool:
+    """Whether we are already inside a daemonic pool worker (no nesting)."""
+    return multiprocessing.current_process().daemon
+
+
+#: Name prefix identifying threads spawned by :class:`ThreadExecutor`.
+_THREAD_NAME_PREFIX = "repro-parallel"
+
+
+def _in_worker_thread() -> bool:
+    """Whether we are already inside a ThreadExecutor worker (no nesting)."""
+    return threading.current_thread().name.startswith(_THREAD_NAME_PREFIX)
+
+
+class Executor:
+    """Common interface: ordered, deterministic fan-out of pure-ish work."""
+
+    backend = "base"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1 when given")
+        self.max_workers = max_workers
+
+    def resolved_workers(self) -> int:
+        """Concrete worker count this executor fans out to."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return ParallelConfig(backend="thread").resolved_workers()
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class SerialExecutor(Executor):
+    """Run everything in the calling thread (the reference backend)."""
+
+    backend = "serial"
+
+    def resolved_workers(self) -> int:
+        return 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend.
+
+    Effective when the dispatched work spends its time inside NumPy's C
+    kernels (matrix products, batched training steps), which release the
+    GIL.  A fresh ``concurrent.futures.ThreadPoolExecutor`` is built per
+    :meth:`map` call so the executor object itself stays stateless.
+
+    Nested maps degrade to serial: when :meth:`map` is called from inside
+    another ThreadExecutor worker (e.g. a thread-parallel batch fan-out
+    whose per-task engines are also thread-configured), the inner call runs
+    in place instead of oversubscribing the host with workers-squared
+    threads — mirroring the process backend's daemon guard.
+    """
+
+    backend = "thread"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        work = list(items)
+        if not work:
+            return []
+        workers = min(self.resolved_workers(), len(work))
+        if workers <= 1 or _in_worker_thread():
+            return [fn(item) for item in work]
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=_THREAD_NAME_PREFIX
+        ) as pool:
+            return list(pool.map(fn, work))
+
+
+class ProcessExecutor(Executor):
+    """Fork-based process-pool backend.
+
+    Each :meth:`map` publishes ``(fn, items)`` as a module-level snapshot,
+    forks a fresh pool (children inherit the snapshot copy-on-write) and
+    sends only item **indices** through the task queue — so closures over
+    unpicklable or very large state (model hubs, offline artifacts) can be
+    dispatched directly.  Results are pickled back to the parent and
+    returned in input order.
+
+    Two guard rails:
+
+    * requires the ``fork`` start method (available on Linux/macOS;
+      construction fails with :class:`ConfigurationError` elsewhere);
+    * inside an existing daemonic pool worker (nested parallelism) it
+      degrades to serial execution instead of crashing — so a
+      process-parallel batch fan-out can wrap engines that are themselves
+      configured for process parallelism.
+    """
+
+    backend = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "the process backend requires the 'fork' start method; "
+                "use backend='thread' on this platform"
+            )
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        global _FORK_PAYLOAD
+        work = list(items)
+        if not work:
+            return []
+        workers = min(self.resolved_workers(), len(work))
+        if workers <= 1 or _in_worker_process():
+            return [fn(item) for item in work]
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_PAYLOAD = (fn, work)
+            # Workers fork inside the constructor, snapshotting the payload.
+            pool = context.Pool(processes=workers)
+        try:
+            return pool.map(_invoke_payload, range(len(work)))
+        finally:
+            pool.close()
+            pool.join()
+            with _FORK_LOCK:
+                _FORK_PAYLOAD = None
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+ExecutorLike = Union[Executor, ParallelConfig, str, None]
+
+
+def get_executor(parallel: ExecutorLike = None) -> Executor:
+    """Resolve an executor from a config, spec string or executor instance.
+
+    ``None`` yields the serial executor; strings are parsed as
+    ``"backend[:workers]"`` specs (see :meth:`ParallelConfig.from_spec`);
+    existing executors pass through unchanged.
+    """
+    if isinstance(parallel, Executor):
+        return parallel
+    if parallel is None:
+        return SerialExecutor()
+    if isinstance(parallel, str):
+        parallel = ParallelConfig.from_spec(parallel)
+    if not isinstance(parallel, ParallelConfig):
+        raise ConfigurationError(
+            f"cannot build an executor from {parallel!r}; expected an Executor, "
+            "ParallelConfig, spec string or None"
+        )
+    factory = _EXECUTORS[parallel.backend]
+    return factory(max_workers=parallel.max_workers)

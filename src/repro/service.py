@@ -1,0 +1,203 @@
+"""Long-lived selection service: one offline phase, many online answers.
+
+The paper splits the framework into an *offline* phase (performance matrix +
+model clustering, once per repository) and cheap *online* phases (coarse
+recall + fine selection, once per query).  :class:`SelectionService` is the
+deployment shape of that split: it builds — or receives — warm
+:class:`~repro.core.pipeline.OfflineArtifacts` once, then answers any number
+of ``select`` / ``select_many`` / ``recall`` requests against them, fanning
+work out over the configured :mod:`repro.parallel` executor and keeping
+running totals (requests, epoch-equivalents spent) for observability.
+
+The service is thread-safe: the engines it shares across requests hold no
+per-request mutable state, lazy checkpoint construction is lock-guarded in
+the hub, and the artifact cache is thread-safe — so a server can call one
+service instance from many request threads.  The ``python -m repro`` CLI is
+a thin front-end over this class.
+
+Typical use::
+
+    from repro.service import SelectionService
+
+    service = SelectionService.from_modality("nlp", seed=0)
+    result = service.select("mnli")
+    report = service.select_many(["boolq", "tweet_eval"])
+    service.stats()["total_epoch_cost"]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cache import cache_stats
+from repro.core.batch import BatchSelectionReport
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OfflineArtifacts, TwoPhaseSelector
+from repro.core.results import RecallResult, TwoPhaseResult
+from repro.data.tasks import ClassificationTask
+from repro.data.workloads import DataScale, suite_for_modality
+from repro.parallel.executor import ExecutorLike, get_executor
+from repro.utils.exceptions import ConfigurationError
+from repro.zoo.finetune import FineTuner
+from repro.zoo.hub import ModelHub
+
+TargetLike = Union[str, ClassificationTask]
+
+
+class SelectionService:
+    """Answer many selection requests off one warm set of offline artifacts.
+
+    Parameters
+    ----------
+    artifacts:
+        Prebuilt offline artifacts; build them once with
+        :meth:`OfflineArtifacts.build` or let :meth:`from_modality` /
+        :meth:`from_hub` do it.
+    fine_tuner:
+        Fine-tuning engine shared by every request (a fresh seeded one is
+        created otherwise).
+    parallel:
+        Executor, :class:`~repro.parallel.ParallelConfig` or
+        ``"backend[:workers]"`` spec for the online hot paths; defaults to
+        ``artifacts.config.parallel``.
+    seed:
+        Seed for the default fine-tuner.
+    """
+
+    def __init__(
+        self,
+        artifacts: OfflineArtifacts,
+        *,
+        fine_tuner: Optional[FineTuner] = None,
+        parallel: ExecutorLike = None,
+        seed: int = 0,
+    ) -> None:
+        self.artifacts = artifacts
+        if parallel is None:
+            parallel = getattr(artifacts.config, "parallel", None)
+        self._executor = get_executor(parallel)
+        self._selector = TwoPhaseSelector(
+            artifacts, fine_tuner=fine_tuner, seed=seed, parallel=self._executor
+        )
+        self._lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self._requests = 0
+        self._targets_served = 0
+        self._epoch_cost = 0.0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_hub(
+        cls,
+        hub: ModelHub,
+        suite=None,
+        *,
+        config: Optional[PipelineConfig] = None,
+        fine_tuner: Optional[FineTuner] = None,
+        parallel: ExecutorLike = None,
+        seed: int = 0,
+    ) -> "SelectionService":
+        """Run the offline phase for ``hub`` and wrap it in a service."""
+        artifacts = OfflineArtifacts.build(
+            hub, suite, config=config, fine_tuner=fine_tuner
+        )
+        return cls(artifacts, fine_tuner=fine_tuner, parallel=parallel, seed=seed)
+
+    @classmethod
+    def from_modality(
+        cls,
+        modality: str,
+        *,
+        scale: str = "full",
+        seed: int = 0,
+        num_models: Optional[int] = None,
+        config: Optional[PipelineConfig] = None,
+        parallel: ExecutorLike = None,
+    ) -> "SelectionService":
+        """Build the simulated repository for ``modality`` and serve it.
+
+        ``scale`` is ``"full"`` (paper-sized datasets) or ``"small"`` (fast
+        smoke runs); ``num_models`` optionally truncates the catalogue.
+        """
+        if scale not in ("full", "small"):
+            raise ConfigurationError("scale must be 'full' or 'small'")
+        data_scale = DataScale.default() if scale == "full" else DataScale.small()
+        suite = suite_for_modality(modality, seed=seed, scale=data_scale)
+        hub = ModelHub(suite, seed=seed)
+        if num_models is not None:
+            hub = hub.subset(hub.model_names[:num_models])
+        config = config or PipelineConfig.for_modality(modality)
+        return cls.from_hub(
+            hub, suite, config=config, parallel=parallel, seed=seed
+        )
+
+    # ------------------------------------------------------------------ #
+    # request API
+    # ------------------------------------------------------------------ #
+    @property
+    def target_names(self) -> List[str]:
+        """Dedicated target datasets of the served suite."""
+        return list(self.artifacts.suite.target_names)
+
+    @property
+    def parallel_spec(self) -> str:
+        """Compact description of the executor serving requests."""
+        executor = self._executor
+        workers = executor.resolved_workers()
+        return executor.backend if workers == 1 else f"{executor.backend}:{workers}"
+
+    def select(self, target: TargetLike, *, top_k: Optional[int] = None) -> TwoPhaseResult:
+        """Answer one selection request (coarse recall + fine selection)."""
+        result = self._selector.select(target, top_k=top_k)
+        self._account(targets=1, cost=result.total_cost)
+        return result
+
+    def select_many(
+        self, targets: Sequence[TargetLike], *, top_k: Optional[int] = None
+    ) -> BatchSelectionReport:
+        """Answer a batch of selection requests off the shared clustering."""
+        report = self._selector.select_many(targets, top_k=top_k)
+        self._account(targets=len(report.results), cost=report.totals()["total_cost"])
+        return report
+
+    def recall(self, target: TargetLike, *, top_k: Optional[int] = None) -> RecallResult:
+        """Run only the coarse-recall phase for ``target``."""
+        result = self._selector.recall_only(target, top_k=top_k)
+        self._account(targets=1, cost=result.epoch_cost)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _account(self, *, targets: int, cost: float) -> None:
+        with self._lock:
+            self._requests += 1
+            self._targets_served += targets
+            self._epoch_cost += float(cost)
+
+    def cluster_summary(self) -> Dict[str, float]:
+        """Summary statistics of the warm model clustering."""
+        return self._selector.cluster_summary()
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters plus artifact-cache statistics.
+
+        Keys: ``requests``, ``targets_served``, ``total_epoch_cost``,
+        ``uptime_seconds``, ``num_models``, ``parallel`` and ``cache``
+        (the per-tier hit/miss report of the process cache).
+        """
+        with self._lock:
+            snapshot = {
+                "requests": self._requests,
+                "targets_served": self._targets_served,
+                "total_epoch_cost": self._epoch_cost,
+            }
+        snapshot["uptime_seconds"] = time.monotonic() - self._started_at
+        snapshot["num_models"] = len(self.artifacts.hub)
+        snapshot["parallel"] = self.parallel_spec
+        snapshot["cache"] = cache_stats()
+        return snapshot

@@ -13,6 +13,7 @@ and ``feather_berts`` groups.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -77,6 +78,20 @@ class ModelHub:
         self._entries_by_name = {entry.name: entry for entry in self.entries}
         if len(self._entries_by_name) != len(self.entries):
             raise HubError("catalogue entries contain duplicate model names")
+        self._build_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # The build lock makes lazy model construction safe under the thread
+    # executor; it is recreated (not copied) across pickling so hubs can
+    # cross process boundaries with the fork-based executor.
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state.pop("_build_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._build_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,10 +117,18 @@ class ModelHub:
         return self._entries_by_name[name]
 
     def get(self, name: str) -> PretrainedModel:
-        """Return (building and caching on first use) the checkpoint ``name``."""
-        if name not in self._models:
-            self._models[name] = self._build_model(self.entry(name))
-        return self._models[name]
+        """Return (building and caching on first use) the checkpoint ``name``.
+
+        Construction is deterministic per name (named random streams), and
+        serialised by a lock so concurrent callers never build twice.
+        """
+        model = self._models.get(name)
+        if model is not None:
+            return model
+        with self._build_lock:
+            if name not in self._models:
+                self._models[name] = self._build_model(self.entry(name))
+            return self._models[name]
 
     def models(self) -> List[PretrainedModel]:
         """All checkpoints in catalogue order."""

@@ -18,6 +18,7 @@ encoder quality, reproducing the structure the paper exploits.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -90,6 +91,21 @@ class PretrainedModel:
         self.representation_noise = 0.3 + 1.4 * (1.0 - entry.quality)
         self._noise_key = int(self._rng.integers(0, 2**31 - 1))
         self._source_head: Optional[MLPClassifier] = None
+        self._head_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # The head lock serialises lazy source-head training (it consumes the
+    # model's own RNG stream) so concurrent proxy scoring cannot race it;
+    # it is recreated, not copied, across pickling so models can cross
+    # process boundaries with the fork-based executor.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_head_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._head_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -162,9 +178,17 @@ class PretrainedModel:
 
     # ------------------------------------------------------------------ #
     def source_head(self) -> MLPClassifier:
-        """Classifier over the model's source label space (lazily trained)."""
+        """Classifier over the model's source label space (lazily trained).
+
+        Training happens exactly once, under a lock: the fit consumes the
+        model's RNG stream, so an unguarded race would make the head's
+        weights depend on thread interleaving and break the parallel ==
+        serial guarantee of :mod:`repro.parallel`.
+        """
         if self._source_head is None:
-            self._source_head = self._train_source_head()
+            with self._head_lock:
+                if self._source_head is None:
+                    self._source_head = self._train_source_head()
         return self._source_head
 
     def _train_source_head(self) -> MLPClassifier:

@@ -127,3 +127,35 @@ class TestArtifactCache:
         report = cache.stats_report()
         assert set(report) == {"memory", "disk"}
         assert report["memory"]["puts"] == 1
+
+
+class TestDiskCacheConcurrency:
+    def test_concurrent_same_key_puts_publish_atomically(self, tmp_path):
+        """Racing writers (docs/caching.md#concurrency-guarantees) never
+        corrupt an entry: readers always load one writer's complete array."""
+        import threading
+
+        cache = DiskCache(tmp_path)
+        payloads = [np.full(64, float(i)) for i in range(8)]
+        barrier = threading.Barrier(len(payloads), timeout=10)
+        errors = []
+
+        def writer(value):
+            try:
+                barrier.wait()
+                cache.put("shared-key", value)
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        value = cache.get("shared-key")
+        assert value is not None
+        # The winning write is complete: all 64 entries equal one payload.
+        assert any(np.array_equal(value, payload) for payload in payloads)
+        # No temporary files leak.
+        assert not list(tmp_path.glob("*.tmp-*"))

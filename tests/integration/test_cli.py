@@ -1,0 +1,124 @@
+"""Integration tests for the ``python -m repro`` command-line front-end."""
+
+import io
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+COMMON = ["--scale", "small", "--num-models", "8", "--seed", "0"]
+
+
+def run_cli(*argv) -> str:
+    stream = io.StringIO()
+    code = main(list(argv), stream=stream)
+    assert code == 0, stream.getvalue()
+    return stream.getvalue()
+
+
+class TestParser:
+    def test_module_help_from_clean_checkout(self):
+        # The acceptance-criterion invocation: `python -m repro select --help`.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "select", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "--target" in result.stdout
+        assert "--parallel" in result.stdout
+
+    @pytest.mark.parametrize("command", ["select", "batch", "experiments", "bench"])
+    def test_every_subcommand_parses_help(self, command):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--help"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([])
+        assert excinfo.value.code != 0
+
+
+class TestSelectCommand:
+    def test_select_text_output(self):
+        out = run_cli("select", "--target", "mnli", "--top-k", "4", *COMMON)
+        assert "selected model" in out
+        assert "recalled models" in out
+
+    def test_select_json_output(self):
+        out = run_cli("select", "--target", "mnli", "--top-k", "4", "--json", *COMMON)
+        payload = json.loads(out)
+        assert payload["target"] == "mnli"
+        assert payload["recalled_models"]
+        assert payload["total_cost"] > 0
+
+    def test_select_parallel_matches_serial(self):
+        serial = json.loads(
+            run_cli("select", "--target", "mnli", "--json", *COMMON)
+        )
+        threaded = json.loads(
+            run_cli(
+                "select", "--target", "mnli", "--json", "--parallel", "thread:4",
+                *COMMON,
+            )
+        )
+        assert serial["selected_model"] == threaded["selected_model"]
+        assert serial["total_cost"] == threaded["total_cost"]
+
+    def test_unknown_target_exits_with_error(self):
+        stream = io.StringIO()
+        code = main(["select", "--target", "nope", *COMMON], stream=stream)
+        assert code == 2
+
+
+class TestBatchCommand:
+    def test_batch_default_targets(self):
+        out = run_cli("batch", *COMMON)
+        assert "totals:" in out
+
+    def test_batch_json(self):
+        out = run_cli("batch", "--targets", "mnli", "boolq", "--json", *COMMON)
+        payload = json.loads(out)
+        assert set(payload["targets"]) == {"mnli", "boolq"}
+        assert payload["totals"]["num_tasks"] == 2
+
+
+class TestExperimentsCommand:
+    def test_single_experiment_runs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "small")
+        out_file = tmp_path / "report.txt"
+        out = run_cli(
+            "experiments", "--only", "table3", "--modalities", "cv",
+            "--scale", "small", "--out", str(out_file),
+        )
+        assert "wrote 1 experiment block(s)" in out
+        assert "table3" in out_file.read_text()
+
+
+class TestBenchCommand:
+    def test_bench_runs_and_reports_identical(self):
+        out = run_cli(
+            "bench", "--backend", "thread", "--workers", "2", "--tasks", "3",
+            *COMMON,
+        )
+        assert "identical results: True" in out
+        assert "serial" in out
+
+
+class TestParallelEnvVar:
+    def test_bench_honors_repro_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "thread:2")
+        out = run_cli("bench", "--tasks", "2", "--scale", "small",
+                      "--num-models", "8")
+        assert "thread:2" in out
+
+    def test_experiments_unknown_id_is_friendly_error(self):
+        stream = io.StringIO()
+        code = main(["experiments", "--only", "fig99", "--scale", "small"],
+                    stream=stream)
+        assert code == 2

@@ -1,7 +1,10 @@
 """Integration tests for the example scripts.
 
-Each example must run end to end (with the ``--small`` flag) and produce the
-output sections its docstring promises.
+Every script under ``examples/`` must run end to end (with fast flags) and
+produce the output its docstring promises.  The scripts are discovered from
+the directory, so adding an example without registering smoke arguments
+here fails ``test_every_example_is_covered`` — quickstart docs cannot
+silently rot.
 """
 
 import pathlib
@@ -11,6 +14,30 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script name -> (argv for a fast run, substrings its output must contain).
+SCRIPT_SMOKE_ARGS = {
+    "quickstart.py": (
+        ["--small", "--top-k", "6"],
+        ["selected model", "total cost"],
+    ),
+    "nlp_model_selection.py": (
+        ["--small", "--target", "boolq"],
+        ["brute force", "two-phase (CR+FS)", "speedup"],
+    ),
+    "cv_model_selection.py": (
+        ["--small", "--target", "beans"],
+        ["Recalled candidates", "Selected checkpoint"],
+    ),
+    "custom_proxy_score.py": (
+        ["--small"],
+        ["centroid", "leep"],
+    ),
+    "reproduce_paper.py": (
+        ["--small", "--only", "table3", "--modalities", "cv"],
+        ["Table III", "finished in"],
+    ),
+}
 
 
 def run_example(name, *args, timeout=600):
@@ -25,32 +52,20 @@ def run_example(name, *args, timeout=600):
     return result.stdout
 
 
+def test_every_example_is_covered():
+    """Each script in examples/ must have registered smoke arguments."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(SCRIPT_SMOKE_ARGS), (
+        "examples/ and SCRIPT_SMOKE_ARGS disagree; register smoke arguments "
+        f"for new scripts. only on disk: {sorted(on_disk - set(SCRIPT_SMOKE_ARGS))}, "
+        f"only registered: {sorted(set(SCRIPT_SMOKE_ARGS) - on_disk)}"
+    )
+
+
 @pytest.mark.slow
-class TestExamples:
-    def test_quickstart(self):
-        out = run_example("quickstart.py", "--small", "--top-k", "6")
-        assert "selected model" in out
-        assert "total cost" in out
-
-    def test_nlp_model_selection(self):
-        out = run_example("nlp_model_selection.py", "--small", "--target", "boolq")
-        assert "brute force" in out
-        assert "two-phase (CR+FS)" in out
-        assert "speedup" in out
-
-    def test_cv_model_selection(self):
-        out = run_example("cv_model_selection.py", "--small", "--target", "beans")
-        assert "Recalled candidates" in out
-        assert "Selected checkpoint" in out
-
-    def test_custom_proxy_score(self):
-        out = run_example("custom_proxy_score.py", "--small")
-        assert "centroid" in out
-        assert "leep" in out
-
-    def test_reproduce_paper_subset(self):
-        out = run_example(
-            "reproduce_paper.py", "--small", "--only", "table3", "--modalities", "cv"
-        )
-        assert "Table III" in out
-        assert "finished in" in out
+@pytest.mark.parametrize("name", sorted(SCRIPT_SMOKE_ARGS))
+def test_example_runs(name):
+    args, expected_fragments = SCRIPT_SMOKE_ARGS[name]
+    out = run_example(name, *args)
+    for fragment in expected_fragments:
+        assert fragment in out, f"{name}: expected {fragment!r} in output"

@@ -1,0 +1,122 @@
+"""Integration tests for the long-lived SelectionService."""
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import OfflineArtifacts
+from repro.core.results import TwoPhaseResult
+from repro.service import SelectionService
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def nlp_artifacts(nlp_hub_small, nlp_suite_small, test_pipeline_config, fine_tuner):
+    return OfflineArtifacts.build(
+        nlp_hub_small,
+        nlp_suite_small,
+        config=test_pipeline_config,
+        fine_tuner=fine_tuner,
+    )
+
+
+@pytest.fixture(scope="module")
+def service(nlp_artifacts):
+    return SelectionService(nlp_artifacts)
+
+
+class TestSelectionService:
+    def test_select_returns_two_phase_result(self, service):
+        result = service.select("mnli")
+        assert isinstance(result, TwoPhaseResult)
+        assert result.target_name == "mnli"
+        assert result.selected_model in service.artifacts.hub.model_names
+
+    def test_select_matches_bare_selector(self, service, nlp_artifacts):
+        from repro.core.pipeline import TwoPhaseSelector
+
+        direct = TwoPhaseSelector(nlp_artifacts).select("mnli")
+        served = service.select("mnli")
+        assert served.selected_model == direct.selected_model
+        assert served.total_cost == direct.total_cost
+
+    def test_select_many(self, service, nlp_suite_small):
+        report = service.select_many(nlp_suite_small.target_names)
+        assert report.target_names == list(nlp_suite_small.target_names)
+
+    def test_recall_only(self, service):
+        result = service.recall("boolq", top_k=3)
+        assert len(result.recalled_models) == 3
+
+    def test_target_names(self, service, nlp_suite_small):
+        assert service.target_names == list(nlp_suite_small.target_names)
+
+    def test_cluster_summary(self, service):
+        summary = service.cluster_summary()
+        assert summary["num_models"] == len(service.artifacts.hub)
+
+    def test_stats_accounting(self, nlp_artifacts):
+        fresh = SelectionService(nlp_artifacts)
+        before = fresh.stats()
+        assert before["requests"] == 0 and before["targets_served"] == 0
+        result = fresh.select("mnli")
+        report = fresh.select_many(["boolq"])
+        stats = fresh.stats()
+        assert stats["requests"] == 2
+        assert stats["targets_served"] == 2
+        expected = result.total_cost + report.totals()["total_cost"]
+        assert stats["total_epoch_cost"] == pytest.approx(expected)
+        assert stats["num_models"] == len(nlp_artifacts.hub)
+        assert stats["uptime_seconds"] >= 0
+        assert "memory" in stats["cache"]
+
+    def test_parallel_spec_reported(self, nlp_artifacts):
+        assert SelectionService(nlp_artifacts).parallel_spec == "serial"
+        threaded = SelectionService(nlp_artifacts, parallel="thread:4")
+        assert threaded.parallel_spec == "thread:4"
+
+    def test_parallel_service_matches_serial(self, service, nlp_artifacts):
+        threaded = SelectionService(nlp_artifacts, parallel="thread:4")
+        assert (
+            threaded.select("mnli").selected_model
+            == service.select("mnli").selected_model
+        )
+
+    def test_concurrent_requests_are_consistent(self, nlp_artifacts, nlp_suite_small):
+        shared = SelectionService(nlp_artifacts, parallel="thread:2")
+        reference = {
+            name: shared.select(name).selected_model
+            for name in nlp_suite_small.target_names
+        }
+        results = {}
+        errors = []
+
+        def worker(name):
+            try:
+                results[name] = shared.select(name).selected_model
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append((name, error))
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in nlp_suite_small.target_names
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == reference
+        assert shared.stats()["requests"] == 2 * len(nlp_suite_small.target_names)
+
+
+class TestFromModality:
+    def test_from_modality_small(self):
+        service = SelectionService.from_modality("nlp", scale="small", num_models=8)
+        assert len(service.artifacts.hub) == 8
+        result = service.select(service.target_names[0], top_k=3)
+        assert result.selected_model in service.artifacts.hub.model_names
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectionService.from_modality("nlp", scale="huge")

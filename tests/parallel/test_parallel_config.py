@@ -1,0 +1,72 @@
+"""Tests for ParallelConfig spec parsing and worker resolution."""
+
+import pytest
+
+from repro.parallel import PARALLEL_ENV_VAR, ParallelConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestParallelConfig:
+    def test_default_is_serial(self):
+        config = ParallelConfig()
+        assert config.backend == "serial"
+        assert not config.is_parallel
+        assert config.resolved_workers() == 1
+
+    @pytest.mark.parametrize(
+        "spec, backend, workers",
+        [
+            ("serial", "serial", None),
+            ("thread", "thread", None),
+            ("thread:4", "thread", 4),
+            ("process:2", "process", 2),
+            ("PROCESS:8", "process", 8),
+            ("  thread:3  ", "thread", 3),
+        ],
+    )
+    def test_from_spec(self, spec, backend, workers):
+        config = ParallelConfig.from_spec(spec)
+        assert config.backend == backend
+        assert config.max_workers == workers
+
+    def test_from_spec_none_and_empty_mean_serial(self):
+        assert ParallelConfig.from_spec(None).backend == "serial"
+        assert ParallelConfig.from_spec("").backend == "serial"
+
+    @pytest.mark.parametrize("spec", ["fibre", "thread:x", "thread:", "process:0x4"])
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig.from_spec(spec)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(backend="gpu")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(backend="thread", max_workers=0)
+
+    def test_spec_roundtrip(self):
+        for text in ("serial", "thread", "process:4"):
+            assert ParallelConfig.from_spec(text).spec() == text
+
+    def test_resolved_workers_explicit(self):
+        assert ParallelConfig("process", 4).resolved_workers() == 4
+
+    def test_resolved_workers_default_bounded(self):
+        workers = ParallelConfig("thread").resolved_workers()
+        assert 1 <= workers <= ParallelConfig.DEFAULT_WORKER_CAP
+
+    def test_is_parallel_requires_multiple_workers(self):
+        assert ParallelConfig("thread", 4).is_parallel
+        assert not ParallelConfig("thread", 1).is_parallel
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV_VAR, "process:3")
+        config = ParallelConfig.from_env()
+        assert (config.backend, config.max_workers) == ("process", 3)
+
+    def test_from_env_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV_VAR, raising=False)
+        assert ParallelConfig.from_env().backend == "serial"
+        assert ParallelConfig.from_env("thread:2").max_workers == 2

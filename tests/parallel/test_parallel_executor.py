@@ -1,0 +1,183 @@
+"""Tests for the executor backends: ordering, closures, errors, resolution."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.parallel import (
+    Executor,
+    ParallelConfig,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from repro.utils.exceptions import ConfigurationError
+
+ALL_EXECUTORS = [
+    SerialExecutor(),
+    ThreadExecutor(max_workers=4),
+    ProcessExecutor(max_workers=4),
+]
+
+
+def _ids(executor):
+    return executor.backend
+
+
+class TestMapContract:
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=_ids)
+    def test_preserves_input_order(self, executor):
+        items = list(range(23))
+        assert executor.map(lambda x: x * x, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=_ids)
+    def test_empty_input(self, executor):
+        assert executor.map(lambda x: x, []) == []
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=_ids)
+    def test_single_item(self, executor):
+        assert executor.map(lambda x: x + 1, [41]) == [42]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=_ids)
+    def test_closure_over_local_state(self, executor):
+        table = {i: i * 10 for i in range(8)}
+        assert executor.map(lambda i: table[i], range(8)) == [i * 10 for i in range(8)]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=_ids)
+    def test_exceptions_propagate(self, executor):
+        with pytest.raises(ZeroDivisionError):
+            executor.map(lambda x: 1 // x, [2, 1, 0])
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=_ids)
+    def test_identical_across_backends(self, executor):
+        reference = SerialExecutor().map(lambda x: x**3 - x, range(17))
+        assert executor.map(lambda x: x**3 - x, range(17)) == reference
+
+
+class TestThreadExecutor:
+    def test_actually_uses_multiple_threads(self):
+        seen = set()
+        barrier = threading.Barrier(2, timeout=5)
+
+        def record(_):
+            barrier.wait()  # forces two concurrent workers
+            seen.add(threading.get_ident())
+            return None
+
+        ThreadExecutor(max_workers=2).map(record, range(2))
+        assert len(seen) == 2
+
+    def test_worker_cap_respected(self):
+        executor = ThreadExecutor(max_workers=3)
+        assert executor.resolved_workers() == 3
+
+    def test_nested_map_degrades_to_serial(self):
+        outer = ThreadExecutor(max_workers=2)
+        inner_threads = set()
+
+        def nested(i):
+            inner = ThreadExecutor(max_workers=2)
+            return inner.map(
+                lambda x: inner_threads.add(threading.get_ident()) or (x + i),
+                range(3),
+            )
+
+        assert outer.map(nested, range(2)) == [[0, 1, 2], [1, 2, 3]]
+        # The inner maps ran on the outer workers' threads, not new pools.
+        assert len(inner_threads) <= 2
+
+
+class TestProcessExecutor:
+    def test_runs_in_child_processes(self):
+        import os
+
+        parent = os.getpid()
+        pids = ProcessExecutor(max_workers=2).map(lambda _: os.getpid(), range(4))
+        assert all(pid != parent for pid in pids)
+
+    def test_parent_state_not_mutated(self):
+        bucket = []
+        ProcessExecutor(max_workers=2).map(lambda i: bucket.append(i), range(4))
+        assert bucket == []  # appends happened in forked copies
+
+    def test_nested_map_degrades_to_serial(self):
+        outer = ProcessExecutor(max_workers=2)
+
+        def nested(i):
+            # Inside a daemonic worker the inner map must not fork again.
+            return ProcessExecutor(max_workers=2).map(lambda x: x + i, range(3))
+
+        assert outer.map(nested, range(2)) == [[0, 1, 2], [1, 2, 3]]
+
+    def test_executor_is_picklable(self):
+        executor = ProcessExecutor(max_workers=2)
+        clone = pickle.loads(pickle.dumps(executor))
+        assert clone.map(lambda x: x * 2, [1, 2]) == [2, 4]
+
+
+class TestGetExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+
+    def test_spec_string(self):
+        executor = get_executor("thread:4")
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.max_workers == 4
+
+    def test_config(self):
+        executor = get_executor(ParallelConfig("process", 2))
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == 2
+
+    def test_executor_passthrough(self):
+        executor = ThreadExecutor(max_workers=2)
+        assert get_executor(executor) is executor
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_executor(42)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThreadExecutor(max_workers=0)
+
+    def test_base_executor_map_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Executor().map(lambda x: x, [1])
+
+
+class TestSourceHeadThreadSafety:
+    def test_concurrent_source_head_trains_once(self):
+        """Lazy source-head training is lock-guarded: racing threads all get
+        the same head object (weights independent of interleaving)."""
+        from repro.data.workloads import DataScale, WorkloadSuite
+        from repro.zoo.hub import ModelHub
+
+        suite = WorkloadSuite("nlp", seed=0, scale=DataScale.small())
+        model = ModelHub(suite, seed=0).get("bert-base-uncased")
+        barrier = threading.Barrier(4, timeout=10)
+        heads = []
+
+        def grab():
+            barrier.wait()
+            heads.append(model.source_head())
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(heads) == 4
+        assert all(head is heads[0] for head in heads)
+
+    def test_model_with_trained_head_pickles(self):
+        from repro.data.workloads import DataScale, WorkloadSuite
+        from repro.zoo.hub import ModelHub
+
+        suite = WorkloadSuite("nlp", seed=0, scale=DataScale.small())
+        model = ModelHub(suite, seed=0).get("roberta-base")
+        model.source_head()
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.source_head() is clone._source_head
