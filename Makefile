@@ -2,10 +2,25 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test docs-check bench-parallel examples
+.PHONY: test test-fast test-all ci ci-full docs-check bench-parallel bench-incremental examples
 
+# Tier-1 verify: the full suite (what CI runs on main).
 test:
 	$(PY) -m pytest -x -q
+
+# Fast tier: skips the randomized property suite, the golden experiment
+# snapshots and slow integration runs — the loop for every-change CI.
+test-fast:
+	$(PY) -m pytest -x -q -m "not slow and not property and not golden"
+
+# Full tier: everything, including the slow examples.
+test-all:
+	$(PY) -m pytest -q
+
+# CI entry points: `ci` on every change, `ci-full` on main.
+ci: test-fast
+
+ci-full: test-all docs-check
 
 # Validate documentation: every fenced Python block in README/docs runs,
 # every intra-doc link (and anchor) resolves.
@@ -14,6 +29,9 @@ docs-check:
 
 bench-parallel:
 	$(PY) benchmarks/bench_parallel_selection.py
+
+bench-incremental:
+	$(PY) benchmarks/bench_incremental_update.py
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

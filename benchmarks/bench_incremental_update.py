@@ -1,0 +1,154 @@
+"""Benchmark: full similarity recompute vs incremental zoo update.
+
+Simulates repository growth at realistic hub scales: starting from an
+``n``-model repository whose Eq. 1 similarity matrix is already warm, add
+``n_add`` models and compare
+
+* the from-scratch oracle — :func:`performance_similarity_matrix` over the
+  whole ``(n + n_add)``-model repository, and
+* the incremental path — :func:`update_similarity_matrix`, which recomputes
+  only the ``added x all`` blocks.
+
+Every incremental result is asserted **bitwise-equal** to the oracle before
+any timing is reported, so the benchmark doubles as an equivalence check at
+scales the unit tests never reach.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_update.py [--quick]
+
+The script exits non-zero if any incremental result diverges from the
+oracle, or if the single-model add is less than 5x faster than the full
+recompute (the PR's acceptance bar; ``--quick`` skips the timing gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+from repro.core.performance import PerformanceMatrix
+from repro.core.similarity import (
+    performance_similarity_matrix,
+    update_similarity_matrix,
+)
+
+#: Repository sizes and add-batch sizes exercised (paper hubs are n <= 40;
+#: these are the production-scale shapes the ROADMAP targets).
+BASE_SIZES = (200, 800)
+ADD_SIZES = (1, 5, 20)
+NUM_DATASETS = 40
+TOP_K = 5
+#: Minimum accepted speedup of a single-model incremental add.
+REQUIRED_SPEEDUP = 5.0
+
+
+def _random_matrix(rng: np.random.Generator, n: int) -> PerformanceMatrix:
+    return PerformanceMatrix(
+        dataset_names=[f"d{i}" for i in range(NUM_DATASETS)],
+        model_names=[f"m{j}" for j in range(n)],
+        values=rng.uniform(0.1, 0.95, size=(NUM_DATASETS, n)),
+    )
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(base_sizes=BASE_SIZES, add_sizes=ADD_SIZES, repeats: int = 3) -> List[dict]:
+    rng = np.random.default_rng(0)
+    records: List[dict] = []
+    for n in base_sizes:
+        grown = _random_matrix(rng, n + max(add_sizes))
+        for n_add in add_sizes:
+            old = PerformanceMatrix(
+                dataset_names=grown.dataset_names,
+                model_names=grown.model_names[:n],
+                values=grown.values[:, :n],
+            )
+            new = PerformanceMatrix(
+                dataset_names=grown.dataset_names,
+                model_names=grown.model_names[: n + n_add],
+                values=grown.values[:, : n + n_add],
+            )
+            old_similarity = performance_similarity_matrix(old, top_k=TOP_K, cache=False)
+
+            incremental = update_similarity_matrix(
+                old, old_similarity, new, top_k=TOP_K, cache=False
+            )
+            oracle = performance_similarity_matrix(new, top_k=TOP_K, cache=False)
+            identical = bool(np.array_equal(incremental, oracle))
+
+            full_time = _best_of(
+                repeats,
+                lambda new=new: performance_similarity_matrix(
+                    new, top_k=TOP_K, cache=False
+                ),
+            )
+            incremental_time = _best_of(
+                repeats,
+                lambda old=old, sim=old_similarity, new=new: update_similarity_matrix(
+                    old, sim, new, top_k=TOP_K, cache=False
+                ),
+            )
+            records.append(
+                {
+                    "n": n,
+                    "n_add": n_add,
+                    "full_seconds": full_time,
+                    "incremental_seconds": incremental_time,
+                    "speedup": full_time / incremental_time
+                    if incremental_time > 0
+                    else float("inf"),
+                    "identical": identical,
+                }
+            )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single repeat, no timing gate (smoke check)",
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else 3
+
+    records = run(repeats=repeats)
+    print(f"incremental zoo update vs full recompute (d={NUM_DATASETS}, top_k={TOP_K})")
+    print(f"{'n':>5} {'add':>4} {'full':>10} {'incremental':>12} {'speedup':>8}  equal")
+    for record in records:
+        print(
+            f"{record['n']:>5} {record['n_add']:>4} "
+            f"{record['full_seconds'] * 1e3:>8.1f}ms "
+            f"{record['incremental_seconds'] * 1e3:>10.2f}ms "
+            f"{record['speedup']:>7.1f}x  {record['identical']}"
+        )
+
+    failed = False
+    if not all(record["identical"] for record in records):
+        print("FAIL: an incremental result diverged from the full recompute")
+        failed = True
+    if not args.quick:
+        for record in records:
+            if record["n_add"] == 1 and record["speedup"] < REQUIRED_SPEEDUP:
+                print(
+                    f"FAIL: single-model add at n={record['n']} is only "
+                    f"{record['speedup']:.1f}x faster (need >= {REQUIRED_SPEEDUP}x)"
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -170,6 +170,28 @@ class LRUCache:
         with self._lock:
             return list(self._entries)
 
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` if present; returns whether an entry was removed."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.stats.record_eviction()
+            return True
+
+    def evict_matching(self, fragment: str) -> int:
+        """Drop every entry whose key contains ``fragment``; returns the count.
+
+        Used by the zoo-refresh path to purge artifacts of a superseded
+        repository version by their content-fingerprint component.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if fragment in key]
+            for key in stale:
+                del self._entries[key]
+            self.stats.record_eviction(len(stale))
+            return len(stale)
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         with self._lock:
@@ -235,6 +257,34 @@ class DiskCache:
             tmp.write_text(json.dumps(value))
         os.replace(tmp, final)
         self.stats.record_put()
+
+    def evict(self, key: str) -> bool:
+        """Delete the files stored under ``key``; returns whether any existed."""
+        stem = self._path_stem(key)
+        removed = False
+        for suffix in (".npy", ".json"):
+            path = stem.with_suffix(stem.suffix + suffix)
+            if path.exists():
+                path.unlink(missing_ok=True)
+                removed = True
+        if removed:
+            self.stats.record_eviction()
+        return removed
+
+    def evict_matching(self, fragment: str) -> int:
+        """Delete every cached file whose name contains ``fragment``.
+
+        The fragment is sanitised exactly like keys are when they become
+        file names, so fingerprint components match their on-disk form.
+        """
+        sanitised = _UNSAFE_FILENAME.sub("_", fragment)
+        count = 0
+        for path in self.directory.glob("*"):
+            if path.suffix in (".npy", ".json") and sanitised in path.name:
+                path.unlink(missing_ok=True)
+                count += 1
+        self.stats.record_eviction(count)
+        return count
 
     def clear(self) -> None:
         """Delete every cached file in the directory."""
@@ -312,6 +362,27 @@ class ArtifactCache:
         value = compute()
         self.put(key, value)
         return value
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` from every tier; returns whether any tier held it."""
+        removed = self.memory.evict(key)
+        if self.disk is not None:
+            removed = self.disk.evict(key) or removed
+        return removed
+
+    def evict_matching(self, fragment: str) -> int:
+        """Drop every entry (all tiers) whose key contains ``fragment``.
+
+        This is the explicit-invalidation path of the incremental zoo
+        refresh: artifacts of a superseded repository version are purged by
+        their content-fingerprint component instead of lingering until LRU
+        pressure ages them out.  Returns the number of memory-tier entries
+        removed.
+        """
+        count = self.memory.evict_matching(fragment)
+        if self.disk is not None:
+            self.disk.evict_matching(fragment)
+        return count
 
     def clear(self) -> None:
         """Drop every entry from every tier (statistics are kept)."""

@@ -1,17 +1,18 @@
 """Command-line front-end: drive the selection system without writing Python.
 
-Four subcommands, all on top of :class:`repro.service.SelectionService` and
+Five subcommands, all on top of :class:`repro.service.SelectionService` and
 the experiment runner (see ``docs/cli.md``)::
 
     python -m repro select       # one target: coarse recall + fine selection
     python -m repro batch        # many targets off one shared clustering
+    python -m repro zoo          # add/remove/refresh checkpoints incrementally
     python -m repro experiments  # regenerate the paper's tables and figures
     python -m repro bench        # serial-vs-parallel batched-selection timing
 
 Every command accepts ``--scale small`` for fast smoke runs and
 ``--parallel backend[:workers]`` (or the ``REPRO_PARALLEL`` environment
-variable) to pick an executor; ``select`` and ``batch`` can emit JSON for
-scripting with ``--json``.
+variable) to pick an executor; ``select``, ``batch`` and ``zoo`` can emit
+JSON for scripting with ``--json``.
 """
 
 from __future__ import annotations
@@ -171,6 +172,78 @@ def _cmd_batch(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _cmd_zoo(args: argparse.Namespace, stream) -> int:
+    """Apply an incremental zoo update to a freshly served repository."""
+    import numpy as np
+
+    if args.zoo_command == "add":
+        added, removed = args.models, []
+    elif args.zoo_command == "remove":
+        added, removed = [], args.models
+    else:
+        added, removed = args.add or [], args.remove or []
+        if not added and not removed:
+            print("error: zoo refresh needs --add and/or --remove", file=sys.stderr)
+            return 2
+    service = _build_service(args)
+    before = service.cluster_summary()
+    started = time.perf_counter()
+    result = service.refresh(added=added, removed=removed)
+    elapsed = time.perf_counter() - started
+    after = service.cluster_summary()
+
+    verified = None
+    if args.verify:
+        from repro.core.pipeline import OfflineArtifacts
+
+        fresh = OfflineArtifacts.build(
+            result.artifacts.hub,
+            result.artifacts.suite,
+            config=result.artifacts.config,
+            cache=False,
+        )
+        verified = bool(
+            np.array_equal(result.artifacts.matrix.values, fresh.matrix.values)
+            and np.array_equal(
+                result.artifacts.clustering.similarity, fresh.clustering.similarity
+            )
+        )
+
+    if args.json:
+        payload = result.summary()
+        payload["elapsed_seconds"] = elapsed
+        payload["num_clusters"] = after["num_clusters"]
+        if verified is not None:
+            payload["verified"] = verified
+        json.dump(payload, stream, indent=2)
+        print(file=stream)
+    else:
+        print(f"zoo update   : {result.old_version.key} -> {result.new_version.key}", file=stream)
+        print(f"added        : {len(result.added)} {result.added}", file=stream)
+        print(f"removed      : {len(result.removed)} {result.removed}", file=stream)
+        print(
+            f"models       : {int(before['num_models'])} -> {int(after['num_models'])}",
+            file=stream,
+        )
+        print(
+            f"clusters     : {int(before['num_clusters'])} -> {int(after['num_clusters'])}",
+            file=stream,
+        )
+        recluster_note = "full re-cluster" if result.reclustered else "incremental"
+        print(
+            f"clustering   : {recluster_note} (staleness {result.staleness:.2f})",
+            file=stream,
+        )
+        print(f"cache        : {result.evicted_entries} stale entries evicted", file=stream)
+        print(f"refresh time : {elapsed:.2f}s", file=stream)
+        if verified is not None:
+            status = "bitwise-equal to a from-scratch rebuild" if verified else "MISMATCH"
+            print(f"verification : {status}", file=stream)
+    if verified is False:
+        return 1
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace, stream) -> int:
     from repro.experiments.runner import render_report, run_all
 
@@ -290,6 +363,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--json", action="store_true", help="emit JSON")
     batch.set_defaults(handler=_cmd_batch)
+
+    zoo = commands.add_parser(
+        "zoo",
+        help="mutate the served model zoo: add/remove checkpoints incrementally",
+    )
+    zoo_commands = zoo.add_subparsers(dest="zoo_command", required=True)
+
+    def _zoo_sub(name: str, help_text: str) -> argparse.ArgumentParser:
+        sub = zoo_commands.add_parser(name, help=help_text)
+        _add_common_arguments(sub)
+        sub.add_argument(
+            "--verify",
+            action="store_true",
+            help="rebuild the offline artifacts from scratch and check the "
+            "incremental result is bitwise-equal",
+        )
+        sub.add_argument("--json", action="store_true", help="emit JSON")
+        sub.set_defaults(handler=_cmd_zoo)
+        return sub
+
+    zoo_add = _zoo_sub("add", "add catalogue checkpoints to the repository")
+    zoo_add.add_argument(
+        "--models", nargs="+", required=True, metavar="NAME",
+        help="catalogue model names to add (combine with --num-models to "
+        "start from a truncated repository)",
+    )
+    zoo_remove = _zoo_sub("remove", "remove checkpoints from the repository")
+    zoo_remove.add_argument(
+        "--models", nargs="+", required=True, metavar="NAME",
+        help="model names to remove",
+    )
+    zoo_refresh = _zoo_sub("refresh", "combined add/remove update")
+    zoo_refresh.add_argument(
+        "--add", nargs="+", default=None, metavar="NAME", help="models to add"
+    )
+    zoo_refresh.add_argument(
+        "--remove", nargs="+", default=None, metavar="NAME", help="models to remove"
+    )
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

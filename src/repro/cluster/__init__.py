@@ -23,4 +23,17 @@ __all__ = [
     "silhouette_samples",
     "silhouette_score",
     "ClusterAssignment",
+    "ClusteringUpdate",
+    "update_clustering",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-export: repro.cluster.incremental imports from repro.core,
+    # which imports this package — resolving it at first attribute access
+    # instead of import time breaks the cycle.
+    if name in ("ClusteringUpdate", "update_clustering"):
+        from repro.cluster import incremental
+
+        return getattr(incremental, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

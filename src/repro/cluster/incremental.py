@@ -1,0 +1,248 @@
+"""Incremental cluster maintenance for a mutable model repository.
+
+A full re-cluster after every zoo change would throw away the warm offline
+artifacts the paper's online phases depend on.  :func:`update_clustering`
+instead *patches* an existing :class:`~repro.core.model_clustering.ModelClustering`:
+
+* **removals** drop members from their clusters (empty clusters disappear,
+  representatives are re-elected only in the touched clusters);
+* **additions** are placed into the nearest existing cluster by average
+  linkage distance — the exact join criterion the offline hierarchical run
+  used — or become new singleton clusters when no cluster is within the
+  recorded merge threshold.
+
+The incremental guarantees — enforced by the property suite
+(``tests/property/test_property_incremental.py``) — are *structural*,
+stated relative to the previous epoch:
+
+* pairwise co-membership of surviving models is preserved **exactly** (an
+  added model can join an existing cluster but can never cause two old
+  clusters to merge or one to split);
+* additions are judged against the merge threshold *recorded at the last
+  full clustering* — the join criterion stays frozen between full runs;
+* ``extras["stale_models"]`` counts every incrementally placed or removed
+  model since that last full run.
+
+A from-scratch re-cluster of the updated repository is **not** bounded by
+the stale count: when the threshold is quantile-derived, a fresh run
+re-estimates it on the new distance distribution and may regroup survivors
+wholesale.  That temporal drift is exactly what the staleness budget
+bounds: once the stale fraction exceeds
+``ClusteringConfig.staleness_threshold`` the update falls back to a full
+re-cluster (identical to a cold offline run on the same similarity),
+resetting both the counter and the recorded threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.assignments import ClusterAssignment
+from repro.cluster.distance import similarity_to_distance
+from repro.core.config import ClusteringConfig
+from repro.core.model_clustering import ModelClusterer, ModelClustering
+from repro.core.performance import PerformanceMatrix
+from repro.utils.exceptions import DataError
+
+
+@dataclass
+class ClusteringUpdate:
+    """Result of one incremental clustering update.
+
+    Attributes
+    ----------
+    clustering:
+        The updated (or fully rebuilt) model clustering.
+    reclustered:
+        ``True`` when the staleness threshold forced a full re-cluster.
+    added / removed:
+        Model names that entered / left the repository in this update.
+    touched_clusters:
+        Cluster ids (of the *new* clustering) whose membership changed;
+        empty after a full re-cluster.
+    staleness:
+        Fraction of models placed incrementally since the last full
+        clustering (0.0 right after a re-cluster).
+    """
+
+    clustering: ModelClustering
+    reclustered: bool
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    touched_clusters: List[int] = field(default_factory=list)
+    staleness: float = 0.0
+
+
+def _average_linkage_to_clusters(
+    distance_row: np.ndarray, labels: np.ndarray
+) -> Dict[int, float]:
+    """Mean distance from one model to every current cluster's members."""
+    out: Dict[int, float] = {}
+    for cluster_id in np.unique(labels):
+        members = np.flatnonzero(labels == cluster_id)
+        out[int(cluster_id)] = float(distance_row[members].mean())
+    return out
+
+
+def update_clustering(
+    old: ModelClustering,
+    new_matrix: PerformanceMatrix,
+    new_similarity: np.ndarray,
+    *,
+    config: Optional[ClusteringConfig] = None,
+    seed: int = 0,
+    distance: Optional[np.ndarray] = None,
+) -> ClusteringUpdate:
+    """Patch ``old`` to cover the models of ``new_matrix``.
+
+    ``new_similarity`` must be the Eq. 1 (or baseline) similarity matrix of
+    ``new_matrix`` — typically the output of
+    :func:`repro.core.similarity.update_similarity_matrix`.  Models present
+    in both repositories keep their cluster; removed models are dropped;
+    added models join their nearest cluster (average linkage within the
+    merge threshold recorded by the last full clustering) or start a new
+    singleton.  See the module docstring for the precise equivalence
+    guarantees (they are relative to the previous epoch, not to a
+    from-scratch run, whose quantile threshold would be re-estimated).
+
+    ``distance`` optionally supplies the precomputed
+    ``similarity_to_distance(new_similarity)`` conversion so callers that
+    already hold it (e.g. the refresh path warming the distance cache)
+    avoid a second ``O(n^2)`` pass.
+
+    When the accumulated stale fraction — incrementally placed or removed
+    models since the last full run — would exceed
+    ``config.staleness_threshold``, the whole repository is re-clustered
+    from scratch with :class:`~repro.core.model_clustering.ModelClusterer`
+    (on the supplied similarity, so the result is identical to a cold
+    offline run) and the staleness counter resets.
+    """
+    config = config or old.config
+    new_names = new_matrix.model_names
+    new_similarity = np.asarray(new_similarity, dtype=float)
+    if new_similarity.shape != (len(new_names), len(new_names)):
+        raise DataError(
+            f"similarity shape {new_similarity.shape} does not match the "
+            f"{len(new_names)} models of new_matrix"
+        )
+    old_names = old.model_names
+    old_set, new_set = set(old_names), set(new_names)
+    added = [name for name in new_names if name not in old_set]
+    removed = [name for name in old_names if name not in new_set]
+
+    stale_before = float(old.extras.get("stale_models", 0.0))
+    stale_after = stale_before + len(added) + len(removed)
+    staleness = stale_after / max(1, len(new_names))
+
+    def full_recluster() -> ClusteringUpdate:
+        clusterer = ModelClusterer(config, seed=seed)
+        clustering = clusterer.cluster(new_matrix, similarity=new_similarity)
+        return ClusteringUpdate(
+            clustering=clustering,
+            reclustered=True,
+            added=added,
+            removed=removed,
+            staleness=0.0,
+        )
+
+    if len(new_names) < 2:
+        raise DataError(
+            "incremental clustering requires at least two surviving models; "
+            "the repository shrank below the clusterable minimum"
+        )
+    if staleness > config.staleness_threshold:
+        return full_recluster()
+    if not added and not removed:
+        return ClusteringUpdate(
+            clustering=old,
+            reclustered=False,
+            staleness=stale_before / max(1, len(new_names)),
+        )
+
+    if distance is None:
+        distance = similarity_to_distance(new_similarity)
+    # The join criterion of the last full run; additions fall back to a
+    # fresh quantile estimate when it was never recorded (e.g. a clustering
+    # built with an explicit cluster count, or k-means).
+    threshold = old.extras.get("distance_threshold")
+    if threshold is None:
+        off_diagonal = distance[np.triu_indices_from(distance, k=1)]
+        threshold = float(np.quantile(off_diagonal, config.threshold_quantile))
+
+    # Surviving models keep their old cluster label (re-indexed later).
+    old_label_of = dict(zip(old_names, old.assignment.labels.tolist()))
+    labels = np.empty(len(new_names), dtype=int)
+    touched: set = set()
+    next_label = int(old.assignment.labels.max()) + 1 if len(old_names) else 0
+    for index, name in enumerate(new_names):
+        if name in old_label_of:
+            labels[index] = old_label_of[name]
+        else:
+            labels[index] = -1  # placed below, after all survivors are known
+    for cluster_id in {old_label_of[name] for name in removed}:
+        touched.add(int(cluster_id))
+
+    # Place additions sequentially so siblings added together can share a
+    # new cluster instead of each starting its own singleton.
+    for index, name in enumerate(new_names):
+        if labels[index] != -1:
+            continue
+        placed = np.flatnonzero(labels != -1)
+        if placed.size:
+            linkage = _average_linkage_to_clusters(
+                distance[index, placed], labels[placed]
+            )
+            best = min(linkage, key=lambda cid: (linkage[cid], cid))
+            if linkage[best] <= threshold:
+                labels[index] = best
+                touched.add(int(best))
+                continue
+        labels[index] = next_label
+        touched.add(int(next_label))
+        next_label += 1
+
+    assignment = ClusterAssignment.from_labels(new_names, labels)
+    # Map the raw labels used above onto the re-indexed contiguous ids.
+    raw_to_final = {
+        int(raw): int(final)
+        for raw, final in zip(labels.tolist(), assignment.labels.tolist())
+    }
+    touched_final = sorted(
+        raw_to_final[cid] for cid in touched if cid in raw_to_final
+    )
+
+    # Representatives: keep old winners for untouched clusters, re-elect in
+    # touched ones (membership changed there).
+    representatives: Dict[int, str] = {}
+    for cluster_id, members in assignment.non_singleton_clusters().items():
+        if cluster_id not in touched_final:
+            survivor_rep = old.representatives.get(old_label_of[members[0]])
+            if survivor_rep is not None:
+                representatives[cluster_id] = survivor_rep
+                continue
+        representatives[cluster_id] = max(members, key=new_matrix.average_accuracy)
+
+    silhouette = ModelClusterer._safe_silhouette(distance, assignment.labels)
+
+    extras = dict(old.extras)
+    extras["stale_models"] = stale_after
+    extras["distance_threshold"] = float(threshold)
+    clustering = ModelClustering(
+        assignment=assignment,
+        similarity=new_similarity,
+        representatives=representatives,
+        config=config,
+        silhouette=silhouette,
+        extras=extras,
+    )
+    return ClusteringUpdate(
+        clustering=clustering,
+        reclustered=False,
+        added=added,
+        removed=removed,
+        touched_clusters=touched_final,
+        staleness=staleness,
+    )

@@ -36,8 +36,12 @@ from repro.core.convergence import (
     TrendSet,
 )
 from repro.core.model_clustering import ModelClusterer, ModelClustering
-from repro.core.performance import PerformanceMatrix, build_performance_matrix
-from repro.core.pipeline import OfflineArtifacts, TwoPhaseSelector
+from repro.core.performance import (
+    PerformanceMatrix,
+    build_performance_matrix,
+    update_performance_matrix,
+)
+from repro.core.pipeline import OfflineArtifacts, RefreshResult, TwoPhaseSelector
 from repro.core.recall import CoarseRecall, RandomRecall
 from repro.core.results import (
     RecallResult,
@@ -54,6 +58,7 @@ from repro.core.similarity import (
     performance_similarity,
     performance_similarity_matrix,
     text_similarity_matrix,
+    update_similarity_matrix,
 )
 
 __all__ = [
@@ -71,7 +76,9 @@ __all__ = [
     "ModelClustering",
     "PerformanceMatrix",
     "build_performance_matrix",
+    "update_performance_matrix",
     "OfflineArtifacts",
+    "RefreshResult",
     "TwoPhaseSelector",
     "CoarseRecall",
     "RandomRecall",
@@ -84,4 +91,5 @@ __all__ = [
     "performance_similarity",
     "performance_similarity_matrix",
     "text_similarity_matrix",
+    "update_similarity_matrix",
 ]

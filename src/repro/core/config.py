@@ -42,6 +42,13 @@ class ClusteringConfig:
         threshold when ``distance_threshold`` is not given explicitly.
     num_clusters:
         Alternative stopping rule (required for k-means).
+    staleness_threshold:
+        Incremental-update budget: the maximum fraction of models that may
+        have been placed incrementally (added to the nearest cluster, or
+        removed) since the last full clustering before
+        :func:`repro.cluster.incremental.update_clustering` triggers a full
+        re-cluster.  ``0.0`` re-clusters on every zoo change; ``1.0``
+        effectively never does.  See ``docs/zoo-updates.md``.
     """
 
     method: str = "hierarchical"
@@ -51,6 +58,7 @@ class ClusteringConfig:
     threshold_quantile: float = 0.2
     num_clusters: Optional[int] = None
     linkage: str = "average"
+    staleness_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.method not in ("hierarchical", "kmeans"):
@@ -63,6 +71,8 @@ class ClusteringConfig:
             raise ConfigurationError("kmeans clustering requires num_clusters")
         if not 0.0 < self.threshold_quantile < 1.0:
             raise ConfigurationError("threshold_quantile must be in (0, 1)")
+        if not 0.0 <= self.staleness_threshold <= 1.0:
+            raise ConfigurationError("staleness_threshold must be in [0, 1]")
 
 
 @dataclass(frozen=True)

@@ -119,48 +119,69 @@ class ModelClusterer:
         matrix: PerformanceMatrix,
         *,
         model_cards: Optional[Dict[str, str]] = None,
+        similarity: Optional[np.ndarray] = None,
         cache: CacheLike = None,
     ) -> ModelClustering:
         """Cluster the models of ``matrix`` according to the configuration.
 
         Both the similarity matrix and its distance conversion are served
         from the artifact cache when available (``cache=False`` opts out).
+        A precomputed ``similarity`` (aligned with ``matrix.model_names``,
+        e.g. from an incremental update) skips the similarity computation
+        and the cache entirely.
+
+        The returned clustering records the effective hierarchical merge
+        threshold and a zeroed incremental-staleness counter in ``extras``;
+        :func:`repro.cluster.incremental.update_clustering` consumes both.
         """
         if len(matrix.model_names) < 2:
             raise SelectionError("model clustering requires at least two models")
-        similarity = similarity_matrix_for(
-            matrix,
-            method=self.config.similarity,
-            top_k=self.config.top_k,
-            model_cards=model_cards,
-            cache=cache,
-        )
-        if resolve_cache(cache) is not None:
-            # Cache-backed path: the conversion is memoised under its own
-            # key, so a repeat clustering resolves with one lookup.
-            distance = distance_matrix_for(
+        if similarity is not None:
+            distance = similarity_to_distance(similarity)
+        else:
+            similarity = similarity_matrix_for(
                 matrix,
                 method=self.config.similarity,
                 top_k=self.config.top_k,
                 model_cards=model_cards,
                 cache=cache,
             )
-        else:
-            distance = similarity_to_distance(similarity)
-        labels = self._run_algorithm(distance)
+            if resolve_cache(cache) is not None:
+                # Cache-backed path: the conversion is memoised under its own
+                # key, so a repeat clustering resolves with one lookup.
+                distance = distance_matrix_for(
+                    matrix,
+                    method=self.config.similarity,
+                    top_k=self.config.top_k,
+                    model_cards=model_cards,
+                    cache=cache,
+                )
+            else:
+                distance = similarity_to_distance(similarity)
+        labels, threshold = self._run_algorithm(distance)
         assignment = ClusterAssignment.from_labels(matrix.model_names, labels)
         representatives = self._elect_representatives(assignment, matrix)
         score = self._safe_silhouette(distance, assignment.labels)
+        extras: Dict[str, float] = {"stale_models": 0.0}
+        if threshold is not None:
+            extras["distance_threshold"] = float(threshold)
         return ModelClustering(
             assignment=assignment,
             similarity=similarity,
             representatives=representatives,
             config=self.config,
             silhouette=score,
+            extras=extras,
         )
 
     # ------------------------------------------------------------------ #
-    def _run_algorithm(self, distance: np.ndarray) -> np.ndarray:
+    def _run_algorithm(self, distance: np.ndarray):
+        """Run the configured algorithm; returns ``(labels, merge_threshold)``.
+
+        The effective merge threshold (explicit or quantile-derived) is
+        surfaced so incremental updates can reuse the exact same join
+        criterion; it is ``None`` for k-means and count-capped hierarchies.
+        """
         if self.config.method == "hierarchical":
             threshold = self.config.distance_threshold
             if threshold is None and self.config.num_clusters is None:
@@ -175,13 +196,13 @@ class ModelClusterer:
                 distance_threshold=threshold,
                 linkage=self.config.linkage,
             )
-            return algorithm.fit_predict(distance)
+            return algorithm.fit_predict(distance), threshold
         # k-means operates on vector embeddings; use the rows of the distance
         # matrix as embedding coordinates (classical MDS-free shortcut that
         # preserves the neighbourhood structure well enough for Table I).
         num_clusters = self.config.num_clusters or max(2, distance.shape[0] // 4)
         kmeans = KMeans(num_clusters, rng=np.random.default_rng(self._seed))
-        return kmeans.fit_predict(distance)
+        return kmeans.fit_predict(distance), None
 
     @staticmethod
     def _elect_representatives(

@@ -36,6 +36,10 @@ class PerformanceMatrix:
         Full learning curves keyed by ``(model_name, dataset_name)``.
     epochs:
         Number of offline fine-tuning epochs per cell.
+    train_fraction:
+        Fraction of each benchmark training split the offline runs used
+        (recorded so incremental updates can refuse to mix subsampled and
+        full-data columns).
     """
 
     dataset_names: List[str]
@@ -43,6 +47,7 @@ class PerformanceMatrix:
     values: np.ndarray
     curves: Dict[Tuple[str, str], LearningCurve] = field(default_factory=dict)
     epochs: int = 5
+    train_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=float)
@@ -122,6 +127,7 @@ class PerformanceMatrix:
             values=self.values[:, indices].copy(),
             curves=curves,
             epochs=self.epochs,
+            train_fraction=self.train_fraction,
         )
 
     # ------------------------------------------------------------------ #
@@ -134,6 +140,7 @@ class PerformanceMatrix:
             "model_names": list(self.model_names),
             "values": self.values.tolist(),
             "epochs": self.epochs,
+            "train_fraction": self.train_fraction,
             "curves": [
                 {
                     "model": model,
@@ -165,6 +172,7 @@ class PerformanceMatrix:
             values=np.asarray(payload["values"], dtype=float),
             curves=curves,
             epochs=int(payload.get("epochs", 5)),
+            train_fraction=float(payload.get("train_fraction", 1.0)),
         )
 
     def to_json(self) -> str:
@@ -215,6 +223,79 @@ def build_performance_matrix(
             curve = tuner.fine_tune(model, task, epochs=num_epochs)
             values[row, column] = curve.final_test
             curves[(model_name, dataset_name)] = curve
+    return PerformanceMatrix(
+        dataset_names=dataset_names,
+        model_names=model_names,
+        values=values,
+        curves=curves,
+        epochs=num_epochs,
+        train_fraction=float(train_fraction),
+    )
+
+
+def update_performance_matrix(
+    old: PerformanceMatrix,
+    hub: ModelHub,
+    suite: Optional[WorkloadSuite] = None,
+    *,
+    fine_tuner: Optional[FineTuner] = None,
+    epochs: Optional[int] = None,
+) -> PerformanceMatrix:
+    """Performance matrix of an updated ``hub``, fine-tuning only new models.
+
+    ``hub`` is the repository *after* an add/remove update
+    (:meth:`~repro.zoo.hub.ModelHub.with_changes`); ``old`` is the matrix of
+    the previous epoch.  Columns of surviving models are copied, columns of
+    removed models are dropped, and only the added models are fine-tuned on
+    the benchmarks — ``O(n_added * d)`` runs instead of ``O(n * d)``.
+
+    Fine-tuning randomness is keyed per ``(model, dataset)`` pair (named
+    random streams), so the result is bitwise-identical to
+    :func:`build_performance_matrix` over the updated hub with the same
+    ``fine_tuner`` seed; the property suite enforces this.  Matrices built
+    with ``train_fraction < 1`` are rejected: their offline runs subsampled
+    the training splits with a *sequential* (order-dependent) stream, so
+    copied and fresh columns could not be comparable — rebuild from scratch
+    instead.
+    """
+    suite = suite or hub.suite
+    if suite.modality != hub.modality:
+        raise SelectionError(
+            f"hub modality {hub.modality!r} does not match suite {suite.modality!r}"
+        )
+    if old.train_fraction != 1.0:
+        raise SelectionError(
+            f"incremental update requires a full-data offline matrix, got "
+            f"train_fraction={old.train_fraction}; rebuild from scratch instead"
+        )
+    num_epochs = epochs if epochs is not None else old.epochs
+    if num_epochs != old.epochs:
+        raise SelectionError(
+            f"incremental update must keep the offline budget ({old.epochs} "
+            f"epochs), got {num_epochs}; rebuild from scratch instead"
+        )
+    dataset_names = list(old.dataset_names)
+    model_names = hub.model_names
+    old_index = {name: i for i, name in enumerate(old.model_names)}
+
+    tuner = fine_tuner or FineTuner(FineTuneConfig(), seed=0)
+    values = np.zeros((len(dataset_names), len(model_names)))
+    curves: Dict[Tuple[str, str], LearningCurve] = {}
+    kept = set()
+    for column, model_name in enumerate(model_names):
+        if model_name in old_index:
+            values[:, column] = old.values[:, old_index[model_name]]
+            kept.add(model_name)
+            continue
+        model = hub.get(model_name)
+        for row, dataset_name in enumerate(dataset_names):
+            task = suite.task(dataset_name)
+            curve = tuner.fine_tune(model, task, epochs=num_epochs)
+            values[row, column] = curve.final_test
+            curves[(model_name, dataset_name)] = curve
+    curves.update(
+        {key: curve for key, curve in old.curves.items() if key[0] in kept}
+    )
     return PerformanceMatrix(
         dataset_names=dataset_names,
         model_names=model_names,

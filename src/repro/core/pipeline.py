@@ -7,13 +7,30 @@ matrix and the model clustering.  :class:`TwoPhaseSelector` then answers
 fine-selection, returning a :class:`~repro.core.results.TwoPhaseResult` whose
 cost accounting matches the paper's Table VI (proxy inference charged at half
 an epoch per scored cluster plus the fine-tuning epochs actually spent).
+
+The repository underneath the artifacts is *mutable*:
+:meth:`OfflineArtifacts.refresh` derives the artifacts of the next zoo
+version (checkpoints added and/or removed) incrementally — fine-tuning only
+the new models, updating only the changed rows of the similarity matrix and
+patching the clustering in place (with a staleness-bounded fallback to a
+full re-cluster) — instead of recomputing the whole offline phase.  See
+``docs/zoo-updates.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.cache import (
+    CacheLike,
+    distance_key,
+    fingerprint_matrix,
+    resolve_cache,
+    similarity_key,
+)
+from repro.cluster.distance import similarity_to_distance
+from repro.cluster.incremental import update_clustering
 from repro.core.batch import (
     BatchedSelectionRunner,
     BatchSelectionReport,
@@ -22,12 +39,62 @@ from repro.core.batch import (
 )
 from repro.core.config import PipelineConfig
 from repro.core.model_clustering import ModelClusterer, ModelClustering
-from repro.core.performance import PerformanceMatrix, build_performance_matrix
+from repro.core.performance import (
+    PerformanceMatrix,
+    build_performance_matrix,
+    update_performance_matrix,
+)
 from repro.core.results import TwoPhaseResult
+from repro.core.similarity import update_similarity_matrix
 from repro.data.tasks import ClassificationTask
 from repro.data.workloads import WorkloadSuite
+from repro.utils.exceptions import ConfigurationError
+from repro.zoo.catalog import ModelCatalogEntry
 from repro.zoo.finetune import FineTuner
-from repro.zoo.hub import ModelHub
+from repro.zoo.hub import ModelHub, ZooVersion
+
+
+@dataclass
+class RefreshResult:
+    """Outcome of one incremental :meth:`OfflineArtifacts.refresh`.
+
+    Attributes
+    ----------
+    artifacts:
+        The artifacts of the new zoo version (the old ones stay intact).
+    old_version / new_version:
+        Zoo versions before and after the update.
+    added / removed:
+        Checkpoint names that entered / left the repository.
+    reclustered:
+        Whether the staleness threshold forced a full re-cluster.
+    staleness:
+        Stale-model fraction of the new clustering (0.0 after a re-cluster).
+    evicted_entries:
+        Cache entries of the superseded version purged from the memory tier.
+    """
+
+    artifacts: "OfflineArtifacts"
+    old_version: ZooVersion
+    new_version: ZooVersion
+    added: List[str]
+    removed: List[str]
+    reclustered: bool
+    staleness: float
+    evicted_entries: int = 0
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly snapshot used by the CLI and service stats."""
+        return {
+            "old_version": self.old_version.key,
+            "new_version": self.new_version.key,
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "num_models": len(self.artifacts.hub),
+            "reclustered": self.reclustered,
+            "staleness": self.staleness,
+            "evicted_entries": self.evicted_entries,
+        }
 
 
 @dataclass
@@ -39,6 +106,12 @@ class OfflineArtifacts:
     matrix: PerformanceMatrix
     clustering: ModelClustering
     config: PipelineConfig
+    version: Optional[ZooVersion] = None
+    fine_tuner: Optional[FineTuner] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.version is None:
+            self.version = self.hub.version
 
     @classmethod
     def build(
@@ -48,6 +121,7 @@ class OfflineArtifacts:
         *,
         config: Optional[PipelineConfig] = None,
         fine_tuner: Optional[FineTuner] = None,
+        cache: CacheLike = None,
     ) -> "OfflineArtifacts":
         """Run the offline phase: performance matrix + model clustering."""
         suite = suite or hub.suite
@@ -59,8 +133,131 @@ class OfflineArtifacts:
             epochs=config.offline_epochs,
         )
         clusterer = ModelClusterer(config.clustering)
-        clustering = clusterer.cluster(matrix, model_cards=hub.model_cards())
-        return cls(hub=hub, suite=suite, matrix=matrix, clustering=clustering, config=config)
+        clustering = clusterer.cluster(
+            matrix, model_cards=hub.model_cards(), cache=cache
+        )
+        return cls(
+            hub=hub,
+            suite=suite,
+            matrix=matrix,
+            clustering=clustering,
+            config=config,
+            version=hub.version,
+            fine_tuner=fine_tuner,
+        )
+
+    def refresh(
+        self,
+        *,
+        added: Iterable[Union[str, ModelCatalogEntry]] = (),
+        removed: Iterable[str] = (),
+        fine_tuner: Optional[FineTuner] = None,
+        cache: CacheLike = None,
+        evict_superseded: bool = True,
+    ) -> RefreshResult:
+        """Incrementally derive the artifacts of the next zoo version.
+
+        Fine-tunes only the ``added`` checkpoints (surviving performance
+        columns are copied), updates only the changed rows of the Eq. 1
+        similarity matrix, and patches the clustering in place — falling
+        back to a full re-cluster when the accumulated staleness exceeds
+        ``config.clustering.staleness_threshold``.  The incremental matrix
+        and similarity are provably bitwise-equal to their from-scratch
+        counterparts; the clustering carries structural guarantees relative
+        to the previous epoch plus the staleness budget (see
+        :mod:`repro.cluster.incremental`), all enforced by the property
+        suite.
+
+        The new artifacts land in the artifact cache under the same keys a
+        cold rebuild would use, and entries of the superseded version are
+        evicted rather than left to age out.  ``self`` is not mutated, so a
+        service can keep serving the old epoch until it swaps — a caller
+        that keeps the old epoch live during the swap should pass
+        ``evict_superseded=False`` and purge after the cut-over (as
+        :meth:`repro.service.SelectionService.refresh` does), otherwise
+        in-flight old-epoch requests can repopulate the purged entries.
+
+        ``fine_tuner`` defaults to the tuner recorded at build time: added
+        models must train under the *offline* tuner, not an online one, for
+        the incremental result to match a from-scratch rebuild bitwise.
+        """
+        added = list(added)
+        removed = list(removed)
+        if not added and not removed:
+            raise ConfigurationError("refresh requires at least one added or removed model")
+        tuner = fine_tuner or self.fine_tuner
+        old_version = self.hub.version
+        new_hub = self.hub.with_changes(added=added, removed=removed)
+        new_matrix = update_performance_matrix(
+            self.matrix, new_hub, self.suite, fine_tuner=tuner
+        )
+        old_names = set(self.hub.model_names)
+        new_names = set(new_hub.model_names)
+        added_names = [name for name in new_hub.model_names if name not in old_names]
+        removed_names = [name for name in self.hub.model_names if name not in new_names]
+
+        clustering_config = self.config.clustering
+        if clustering_config.similarity == "performance":
+            new_similarity = update_similarity_matrix(
+                self.matrix,
+                self.clustering.similarity,
+                new_matrix,
+                top_k=clustering_config.top_k,
+                cache=cache,
+            )
+            new_distance = similarity_to_distance(new_similarity)
+            update = update_clustering(
+                self.clustering,
+                new_matrix,
+                new_similarity,
+                config=clustering_config,
+                distance=new_distance,
+            )
+            new_clustering = update.clustering
+            reclustered, staleness = update.reclustered, update.staleness
+            store = resolve_cache(cache)
+            if store is not None:
+                # Warm the distance entry under its canonical key too, so a
+                # later cache-backed clustering of the new matrix resolves
+                # with lookups only.
+                sim_key = similarity_key(
+                    new_matrix, method="performance", top_k=clustering_config.top_k
+                )
+                store.put(distance_key(sim_key), new_distance)
+        else:
+            # The text baseline keys on model-card content, which changes
+            # with the catalogue — no incremental path, rebuild the
+            # clustering outright.
+            clusterer = ModelClusterer(clustering_config)
+            new_clustering = clusterer.cluster(
+                new_matrix, model_cards=new_hub.model_cards(), cache=cache
+            )
+            reclustered, staleness = True, 0.0
+
+        evicted = 0
+        store = resolve_cache(cache)
+        if store is not None and evict_superseded:
+            evicted = store.evict_matching(fingerprint_matrix(self.matrix))
+
+        artifacts = OfflineArtifacts(
+            hub=new_hub,
+            suite=self.suite,
+            matrix=new_matrix,
+            clustering=new_clustering,
+            config=self.config,
+            version=new_hub.version,
+            fine_tuner=tuner,
+        )
+        return RefreshResult(
+            artifacts=artifacts,
+            old_version=old_version,
+            new_version=new_hub.version,
+            added=added_names,
+            removed=removed_names,
+            reclustered=reclustered,
+            staleness=staleness,
+            evicted_entries=evicted,
+        )
 
 
 class TwoPhaseSelector:

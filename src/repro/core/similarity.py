@@ -72,6 +72,18 @@ def performance_similarity(
 # --------------------------------------------------------------------------- #
 # Vectorized Eq. 1 matrix
 # --------------------------------------------------------------------------- #
+def _rows_per_block(
+    num_columns: int, num_datasets: int, *, budget_bytes: int = DEFAULT_CHUNK_BUDGET_BYTES
+) -> int:
+    """Rows per broadcast block so ``(rows, num_columns, d)`` fits the budget.
+
+    The single budget formula shared by the full matrix path and the
+    incremental row/column blocks of :func:`update_similarity_matrix`.
+    """
+    bytes_per_row = max(1, num_columns * num_datasets * 8)
+    return max(1, budget_bytes // bytes_per_row)
+
+
 def similarity_chunk_rows(
     num_models: int, num_datasets: int, *, budget_bytes: int = DEFAULT_CHUNK_BUDGET_BYTES
 ) -> int:
@@ -84,33 +96,59 @@ def similarity_chunk_rows(
     >>> similarity_chunk_rows(800, 40, budget_bytes=64 * 1024**2)
     262
     """
-    bytes_per_row = max(1, num_models * num_datasets * 8)
-    return max(1, min(num_models, budget_bytes // bytes_per_row))
+    return max(
+        1,
+        min(
+            num_models,
+            _rows_per_block(num_models, num_datasets, budget_bytes=budget_bytes),
+        ),
+    )
 
 
-def _similarity_blocks(vectors: np.ndarray, k: int, rows: int) -> np.ndarray:
-    """Eq. 1 similarity matrix computed in row blocks of size ``rows``.
+def _similarity_into(
+    out: np.ndarray,
+    row_vectors: np.ndarray,
+    col_vectors: np.ndarray,
+    k: int,
+    rows: int,
+) -> None:
+    """Fill ``out`` with Eq. 1 similarities of ``row_vectors`` x ``col_vectors``.
 
-    Each block broadcasts ``|vectors_i - vectors_j|`` into a ``(rows, n, d)``
-    slab and selects the top-``k`` differences with an in-place partition.
-    One slab buffer is allocated up front and reused by every block — the
-    subtract/abs/partition pipeline runs entirely inside it, so the hot loop
-    performs no allocations and stays cache-resident for small ``rows``.
+    Row blocks of size ``rows`` broadcast ``|row_i - col_j|`` into a
+    ``(rows, c, d)`` slab and select the top-``k`` differences with an
+    in-place partition.  One slab buffer is allocated up front and reused by
+    every block — the subtract/abs/partition pipeline runs entirely inside
+    it, so the hot loop performs no allocations and stays cache-resident for
+    small ``rows``.
+
+    Every ``(i, j)`` lane is processed independently (elementwise ops plus a
+    per-lane partition and mean), so the value written for a pair depends
+    only on that pair's vectors, ``k`` and ``d`` — never on which other
+    pairs share the block.  This is the property the incremental
+    :func:`update_similarity_matrix` relies on to be bitwise-identical to a
+    full recompute.
     """
-    n, d = vectors.shape
-    similarity = np.empty((n, n))
-    buffer = np.empty((min(rows, n), n, d))
-    for start in range(0, n, rows):
-        stop = min(start + rows, n)
+    r, d = row_vectors.shape
+    c = col_vectors.shape[0]
+    buffer = np.empty((min(rows, r), c, d))
+    for start in range(0, r, rows):
+        stop = min(start + rows, r)
         block = buffer[: stop - start]
-        np.subtract(vectors[start:stop, None, :], vectors[None, :, :], out=block)
+        np.subtract(row_vectors[start:stop, None, :], col_vectors[None, :, :], out=block)
         np.abs(block, out=block)
         if k < d:
             block.partition(d - k, axis=-1)
             top = block[..., d - k :]
         else:
             top = block
-        similarity[start:stop] = 1.0 - top.mean(axis=-1)
+        out[start:stop] = 1.0 - top.mean(axis=-1)
+
+
+def _similarity_blocks(vectors: np.ndarray, k: int, rows: int) -> np.ndarray:
+    """Eq. 1 similarity matrix computed in row blocks of size ``rows``."""
+    n = vectors.shape[0]
+    similarity = np.empty((n, n))
+    _similarity_into(similarity, vectors, vectors, k, rows)
     return similarity
 
 
@@ -180,6 +218,149 @@ def performance_similarity_matrix(
         if rows < 1:
             raise ConfigurationError("chunk_rows must be >= 1")
         similarity = _similarity_blocks(vectors, k, rows)
+        np.fill_diagonal(similarity, 1.0)
+
+    if store is not None:
+        store.put(key, similarity)
+    return similarity
+
+
+def update_similarity_matrix(
+    old_matrix: PerformanceMatrix,
+    old_similarity: np.ndarray,
+    new_matrix: PerformanceMatrix,
+    *,
+    top_k: int = 5,
+    chunk_rows: Optional[int] = None,
+    cache: CacheLike = None,
+) -> np.ndarray:
+    """Incrementally updated Eq. 1 similarity after a zoo add/remove.
+
+    Given the similarity matrix of ``old_matrix`` (computed with the same
+    ``top_k``), produces the similarity matrix of ``new_matrix`` touching
+    only the rows/columns of *changed* models: pairs of surviving models are
+    copied from ``old_similarity`` and only ``added x all`` blocks are
+    recomputed.  Removals are free (a submatrix copy).  The cost is
+    ``O((n_added) * n * d)`` instead of the full ``O(n^2 * d)`` broadcast.
+
+    The result is **bitwise-identical** to
+    ``performance_similarity_matrix(new_matrix, top_k=top_k)``: every Eq. 1
+    entry depends only on its own pair of accuracy vectors (elementwise
+    difference, per-lane partition, per-lane mean), so copied and freshly
+    computed entries coincide exactly.  The property suite under
+    ``tests/property/`` enforces this for randomized add/remove sequences,
+    and :func:`performance_similarity_matrix` remains the from-scratch
+    oracle.
+
+    Preconditions (validated): the benchmark datasets are unchanged, the
+    surviving models' accuracy columns are bitwise-unchanged, and
+    ``old_similarity`` is square and aligned with ``old_matrix``.  The
+    result is stored in the artifact cache under the *same* key a full
+    recompute of ``new_matrix`` would use, so downstream consumers
+    (distance conversion, clustering) hit the warm entry either way.
+
+    >>> import numpy as np
+    >>> from repro.core.performance import PerformanceMatrix
+    >>> old = PerformanceMatrix(
+    ...     dataset_names=["d0"], model_names=["a", "b"],
+    ...     values=np.array([[1.0, 0.5]]),
+    ... )
+    >>> old_sim = performance_similarity_matrix(old, top_k=1, cache=False)
+    >>> new = PerformanceMatrix(
+    ...     dataset_names=["d0"], model_names=["a", "b", "c"],
+    ...     values=np.array([[1.0, 0.5, 0.25]]),
+    ... )
+    >>> update_similarity_matrix(old, old_sim, new, top_k=1, cache=False)
+    array([[1.  , 0.5 , 0.25],
+           [0.5 , 1.  , 0.75],
+           [0.25, 0.75, 1.  ]])
+    """
+    if top_k < 1:
+        raise ConfigurationError("top_k must be >= 1")
+    if chunk_rows is not None and chunk_rows < 1:
+        raise ConfigurationError("chunk_rows must be >= 1")
+    old_names = old_matrix.model_names
+    old_similarity = np.asarray(old_similarity, dtype=float)
+    if old_similarity.shape != (len(old_names), len(old_names)):
+        raise DataError(
+            f"old_similarity shape {old_similarity.shape} does not match the "
+            f"{len(old_names)} models of old_matrix"
+        )
+    if list(old_matrix.dataset_names) != list(new_matrix.dataset_names):
+        raise DataError(
+            "incremental similarity updates require unchanged benchmark "
+            "datasets; rebuild from scratch instead"
+        )
+    old_index = {name: i for i, name in enumerate(old_names)}
+    new_names = new_matrix.model_names
+    kept_new = [j for j, name in enumerate(new_names) if name in old_index]
+    kept_old = [old_index[new_names[j]] for j in kept_new]
+    added_new = [j for j, name in enumerate(new_names) if name not in old_index]
+    if kept_new and not np.array_equal(
+        new_matrix.values[:, kept_new], old_matrix.values[:, kept_old]
+    ):
+        raise DataError(
+            "surviving models' accuracy columns changed; the cached "
+            "similarity rows are stale — rebuild from scratch instead"
+        )
+    if len(kept_new) >= 2 and old_matrix.values.shape[0] > 0:
+        # Spot-check that old_similarity really was computed with this
+        # top_k: recompute one surviving pair through the shared kernel
+        # (bitwise-deterministic per lane) and compare.  Without this, a
+        # mismatched top_k would silently mix regimes and poison the cache
+        # under the new matrix's canonical key.
+        probe_vectors = np.ascontiguousarray(
+            old_matrix.values[:, [kept_old[0], kept_old[1]]].T, dtype=float
+        )
+        probe_k = min(top_k, probe_vectors.shape[1])
+        probe = np.empty((1, 1))
+        _similarity_into(probe, probe_vectors[:1], probe_vectors[1:], probe_k, 1)
+        if probe[0, 0] != old_similarity[kept_old[0], kept_old[1]]:
+            raise DataError(
+                "old_similarity does not match old_matrix under this top_k; "
+                "it was computed with different settings — rebuild from "
+                "scratch instead"
+            )
+
+    store = resolve_cache(cache)
+    key = similarity_key(new_matrix, method="performance", top_k=top_k) if store else None
+    if store is not None:
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+
+    vectors = np.ascontiguousarray(new_matrix.values.T, dtype=float)
+    n, d = vectors.shape
+    if n > 1 and d == 0:
+        raise DataError("performance vectors must be non-empty")
+    k = min(top_k, d) if d else 0
+    if n == 0:
+        similarity = np.ones((0, 0))
+    elif n == 1 or d == 0:
+        similarity = np.ones((n, n))
+    else:
+        similarity = np.empty((n, n))
+        if kept_new:
+            similarity[np.ix_(kept_new, kept_new)] = old_similarity[
+                np.ix_(kept_old, kept_old)
+            ]
+        if added_new:
+            added_vectors = np.ascontiguousarray(vectors[added_new])
+            rows = chunk_rows if chunk_rows is not None else _rows_per_block(n, d)
+            # New rows: added models against the whole repository.
+            block = np.empty((len(added_new), n))
+            _similarity_into(block, added_vectors, vectors, k, rows)
+            similarity[added_new, :] = block
+            if kept_new:
+                # New columns are the mirror of the rows just computed.
+                # This is still bitwise-faithful to a full recompute: IEEE
+                # subtraction is exactly antisymmetric, so the |a - b| lane
+                # of pair (i, j) is identical to the (j, i) lane, and the
+                # per-lane partition + mean of identical content is
+                # deterministic (the property suite pins this down).
+                similarity[np.ix_(kept_new, added_new)] = block[
+                    :, kept_new
+                ].T
         np.fill_diagonal(similarity, 1.0)
 
     if store is not None:

@@ -15,6 +15,13 @@ the hub, and the artifact cache is thread-safe — so a server can call one
 service instance from many request threads.  The ``python -m repro`` CLI is
 a thin front-end over this class.
 
+The model zoo underneath a running service is *mutable*:
+:meth:`SelectionService.refresh` applies checkpoint additions/removals by
+deriving the next artifact version incrementally
+(:meth:`~repro.core.pipeline.OfflineArtifacts.refresh`) and swapping it in
+atomically — in-flight requests finish against the old epoch, later
+requests see the new one.  See ``docs/zoo-updates.md``.
+
 Typical use::
 
     from repro.service import SelectionService
@@ -82,10 +89,13 @@ class SelectionService:
             artifacts, fine_tuner=fine_tuner, seed=seed, parallel=self._executor
         )
         self._lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
         self._started_at = time.monotonic()
         self._requests = 0
         self._targets_served = 0
         self._epoch_cost = 0.0
+        self._refreshes = 0
+        self._seed = int(seed)
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -171,6 +181,51 @@ class SelectionService:
         return result
 
     # ------------------------------------------------------------------ #
+    # zoo updates
+    # ------------------------------------------------------------------ #
+    def refresh(self, *, added: Sequence = (), removed: Sequence[str] = ()):
+        """Apply a zoo update and swap in the refreshed offline artifacts.
+
+        Delegates to :meth:`~repro.core.pipeline.OfflineArtifacts.refresh`
+        (incremental: only new checkpoints are fine-tuned, only changed
+        similarity rows recomputed, clustering patched within its staleness
+        budget) and atomically replaces the served artifacts and online
+        engines.  Requests already running keep the old epoch; the swap is
+        serialised so concurrent refreshes apply one at a time, and cache
+        entries of the superseded version are evicted only *after* the swap
+        so old-epoch requests still in flight cannot repopulate them.
+        Returns the :class:`~repro.core.pipeline.RefreshResult`.
+
+        The offline fine-tuner is deliberately **not** the online selector's:
+        added models must train under the same (artifact-recorded) tuner the
+        original offline matrix used, or the incremental == from-scratch
+        guarantee breaks.
+        """
+        from repro.cache import fingerprint_matrix, resolve_cache
+
+        with self._refresh_lock:
+            old_matrix = self.artifacts.matrix
+            result = self.artifacts.refresh(
+                added=added, removed=removed, evict_superseded=False
+            )
+            selector = TwoPhaseSelector(
+                result.artifacts,
+                fine_tuner=self._selector.fine_tuner,
+                seed=self._seed,
+                parallel=self._executor,
+            )
+            with self._lock:
+                self.artifacts = result.artifacts
+                self._selector = selector
+                self._refreshes += 1
+            store = resolve_cache(None)
+            if store is not None:
+                result.evicted_entries = store.evict_matching(
+                    fingerprint_matrix(old_matrix)
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
     def _account(self, *, targets: int, cost: float) -> None:
@@ -187,17 +242,22 @@ class SelectionService:
         """Service counters plus artifact-cache statistics.
 
         Keys: ``requests``, ``targets_served``, ``total_epoch_cost``,
-        ``uptime_seconds``, ``num_models``, ``parallel`` and ``cache``
-        (the per-tier hit/miss report of the process cache).
+        ``uptime_seconds``, ``num_models``, ``zoo_version``, ``refreshes``,
+        ``parallel`` and ``cache`` (the per-tier hit/miss report of the
+        process cache).
         """
         with self._lock:
             snapshot = {
                 "requests": self._requests,
                 "targets_served": self._targets_served,
                 "total_epoch_cost": self._epoch_cost,
+                "refreshes": self._refreshes,
             }
+            artifacts = self.artifacts
         snapshot["uptime_seconds"] = time.monotonic() - self._started_at
-        snapshot["num_models"] = len(self.artifacts.hub)
+        snapshot["num_models"] = len(artifacts.hub)
+        version = artifacts.version
+        snapshot["zoo_version"] = version.key if version is not None else None
         snapshot["parallel"] = self.parallel_spec
         snapshot["cache"] = cache_stats()
         return snapshot

@@ -25,7 +25,7 @@ from repro.zoo.catalog import (
     nlp_catalog,
 )
 from repro.zoo.finetune import FineTuneConfig, FineTuneSession, FineTuner, LearningCurve
-from repro.zoo.hub import ModelHub
+from repro.zoo.hub import ModelHub, ZooVersion
 from repro.zoo.model_cards import render_model_card
 from repro.zoo.models import PretrainedModel
 
@@ -39,6 +39,7 @@ __all__ = [
     "FineTuner",
     "LearningCurve",
     "ModelHub",
+    "ZooVersion",
     "render_model_card",
     "PretrainedModel",
 ]

@@ -9,21 +9,65 @@ same *family* share most of their domain (with a small per-checkpoint
 perturbation), which is what makes them cluster together in the coarse-recall
 phase — exactly the behaviour the paper observes for the ``bert_ft_qqp-*``
 and ``feather_berts`` groups.
+
+Real hubs gain and lose checkpoints continuously, so the repository is
+*versioned*: every hub carries a :class:`ZooVersion` (monotonic epoch plus a
+content fingerprint of its catalogue) and :meth:`ModelHub.with_changes`
+derives the next epoch from the current one without rebuilding the surviving
+checkpoints.  Model construction is keyed by name (named random streams),
+which is what makes an incrementally updated hub bitwise-identical to one
+built from scratch over the same entries — the property the incremental
+offline-artifact refresh (``docs/zoo-updates.md``) relies on.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.cache.keys import fingerprint_text
 from repro.data.workloads import WorkloadSuite
 from repro.utils.exceptions import HubError
 from repro.utils.rng import RngFactory
 from repro.zoo.catalog import ModelCatalogEntry, catalog_for_modality
 from repro.zoo.model_cards import render_model_card
 from repro.zoo.models import PretrainedModel
+
+
+@dataclass(frozen=True)
+class ZooVersion:
+    """Version stamp of one model-repository state.
+
+    Attributes
+    ----------
+    epoch:
+        Monotonic update counter: 0 for a freshly built hub, incremented by
+        every :meth:`ModelHub.with_changes`.
+    fingerprint:
+        Content fingerprint of the hub's identity — modality, root seed,
+        encoder width and the full **ordered** catalogue entries (name,
+        family, quality, corpora, fine-tune lineage, …).  Same-named
+        entries with different configurations never collide.  Entry order
+        is deliberately part of the identity (it fixes the performance
+        matrix's column layout), so two hubs with the same checkpoint set
+        in different catalogue orders are different versions — e.g.
+        removing and re-adding a model does not restore the old
+        fingerprint.
+    """
+
+    epoch: int
+    fingerprint: str
+
+    @property
+    def key(self) -> str:
+        """Compact printable form used in cache keys, logs and stats."""
+        return f"v{self.epoch}-{self.fingerprint}"
+
+    def __str__(self) -> str:
+        return self.key
 
 #: How strongly a corpus anchor mixes the benchmark-task domains vs a broad
 #: uniform component.  ``(benchmark names, uniform weight, breadth noise)``.
@@ -52,6 +96,9 @@ class ModelHub:
         Root seed of all per-model randomness.
     hidden_dim:
         Encoder output dimensionality shared by all checkpoints.
+    version_epoch:
+        Update epoch of this hub state; 0 for freshly built hubs.  Callers
+        normally leave this alone — :meth:`with_changes` advances it.
     """
 
     def __init__(
@@ -61,6 +108,7 @@ class ModelHub:
         entries: Optional[Sequence[ModelCatalogEntry]] = None,
         seed: int = 0,
         hidden_dim: int = 24,
+        version_epoch: int = 0,
     ) -> None:
         self.suite = suite
         self.entries: List[ModelCatalogEntry] = list(
@@ -72,7 +120,10 @@ class ModelHub:
                     f"catalogue entry {entry.name!r} is {entry.modality!r} but the "
                     f"suite is {suite.modality!r}"
                 )
+        if version_epoch < 0:
+            raise HubError("version_epoch must be >= 0")
         self.hidden_dim = int(hidden_dim)
+        self._version_epoch = int(version_epoch)
         self._rng_factory = RngFactory(seed)
         self._models: Dict[str, PretrainedModel] = {}
         self._entries_by_name = {entry.name: entry for entry in self.entries}
@@ -98,6 +149,21 @@ class ModelHub:
     def modality(self) -> str:
         """Modality served by this hub."""
         return self.suite.modality
+
+    @property
+    def version(self) -> ZooVersion:
+        """Current :class:`ZooVersion` of this repository state."""
+        # repr of the frozen dataclass covers every entry field, so two
+        # same-named entries with different quality/family/lineage (legal
+        # via `with_changes(added=[ModelCatalogEntry(...)])`) fingerprint
+        # differently.
+        fingerprint = fingerprint_text(
+            self.modality,
+            str(self._rng_factory.root_seed),
+            str(self.hidden_dim),
+            *(repr(entry) for entry in self.entries),
+        )
+        return ZooVersion(epoch=self._version_epoch, fingerprint=fingerprint)
 
     @property
     def model_names(self) -> List[str]:
@@ -151,6 +217,82 @@ class ModelHub:
             seed=self._rng_factory.root_seed,
             hidden_dim=self.hidden_dim,
         )
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+    def resolve_entry(self, entry: Union[str, ModelCatalogEntry]) -> ModelCatalogEntry:
+        """Normalise an entry-or-name into a :class:`ModelCatalogEntry`.
+
+        Names are looked up in this hub first, then in the full catalogue of
+        the hub's modality, so callers can add checkpoints by their public
+        name without constructing catalogue entries by hand.
+        """
+        if isinstance(entry, ModelCatalogEntry):
+            return entry
+        if entry in self._entries_by_name:
+            return self._entries_by_name[entry]
+        for candidate in catalog_for_modality(self.modality):
+            if candidate.name == entry:
+                return candidate
+        raise HubError(
+            f"unknown model {entry!r}: not in this hub nor in the "
+            f"{self.modality} catalogue"
+        )
+
+    def with_changes(
+        self,
+        *,
+        added: Iterable[Union[str, ModelCatalogEntry]] = (),
+        removed: Iterable[str] = (),
+    ) -> "ModelHub":
+        """The next repository epoch with ``added``/``removed`` checkpoints.
+
+        Returns a **new** hub (the current one stays intact, so a service
+        can keep answering requests against the old epoch while the new one
+        warms up).  Surviving checkpoints that were already built are shared
+        with the new hub — construction is deterministic per name, so the
+        shared instances are exactly what a from-scratch build would create.
+
+        ``added`` entries are appended in the given order after the
+        surviving catalogue entries; ``removed`` names must exist and a name
+        cannot be both added and removed in one update.
+        """
+        added_entries = [self.resolve_entry(entry) for entry in added]
+        removed_names = list(removed)
+        for name in removed_names:
+            if name not in self._entries_by_name:
+                raise HubError(f"cannot remove unknown model {name!r}")
+        removed_set = set(removed_names)
+        added_names = {entry.name for entry in added_entries}
+        if added_names & removed_set:
+            overlap = sorted(added_names & removed_set)
+            raise HubError(f"models both added and removed: {overlap[:3]}")
+        for entry in added_entries:
+            if entry.name in self._entries_by_name:
+                raise HubError(f"model {entry.name!r} is already in the hub")
+        entries = [
+            entry for entry in self.entries if entry.name not in removed_set
+        ] + added_entries
+        if not entries:
+            raise HubError("update would leave the hub empty")
+        hub = ModelHub(
+            self.suite,
+            entries=entries,
+            seed=self._rng_factory.root_seed,
+            hidden_dim=self.hidden_dim,
+            version_epoch=self._version_epoch + 1,
+        )
+        # Share already-built checkpoints: per-name named random streams make
+        # them identical to what the new hub would build on first access.
+        with self._build_lock:
+            survivors = {
+                name: model
+                for name, model in self._models.items()
+                if name not in removed_set
+            }
+        hub._models.update(survivors)
+        return hub
 
     # ------------------------------------------------------------------ #
     def _corpus_domain(self, corpus: str, rng: np.random.Generator) -> np.ndarray:

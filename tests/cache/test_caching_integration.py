@@ -48,6 +48,37 @@ class TestSimilarityCaching:
         second = performance_similarity_matrix(nlp_matrix_small, top_k=5, cache=cache)
         assert second[0, 1] != -123.0
 
+    def test_chunked_and_single_block_share_one_cache_entry(self, nlp_matrix_small):
+        # chunk_rows changes only the execution schedule, never the values,
+        # so it must not leak into the cache key: a chunked computation and
+        # a single-block one have to hit each other's entries.
+        from repro.cache import similarity_key
+
+        chunked_first = ArtifactCache(max_entries=8)
+        chunked = performance_similarity_matrix(
+            nlp_matrix_small, top_k=5, chunk_rows=2, cache=chunked_first
+        )
+        assert chunked_first.stats.misses == 1 and chunked_first.stats.puts == 1
+        served = performance_similarity_matrix(
+            nlp_matrix_small, top_k=5, cache=chunked_first
+        )
+        assert chunked_first.stats.hits == 1  # single-block call hit the chunked entry
+        assert np.array_equal(chunked, served)
+
+        single_first = ArtifactCache(max_entries=8)
+        single = performance_similarity_matrix(
+            nlp_matrix_small, top_k=5, cache=single_first
+        )
+        served_chunked = performance_similarity_matrix(
+            nlp_matrix_small, top_k=5, chunk_rows=3, cache=single_first
+        )
+        assert single_first.stats.hits == 1  # chunked call hit the single entry
+        assert np.array_equal(single, served_chunked)
+        # Both schedules key under the same canonical similarity key.
+        key = similarity_key(nlp_matrix_small, method="performance", top_k=5)
+        assert chunked_first.get(key) is not None
+        assert single_first.get(key) is not None
+
 
 class TestDistanceCaching:
     def test_distance_served_from_cache_without_similarity_recompute(

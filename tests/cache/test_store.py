@@ -159,3 +159,43 @@ class TestDiskCacheConcurrency:
         assert any(np.array_equal(value, payload) for payload in payloads)
         # No temporary files leak.
         assert not list(tmp_path.glob("*.tmp-*"))
+
+
+class TestEviction:
+    def test_lru_evict_key(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1.0)
+        assert cache.evict("a") is True
+        assert cache.get("a") is None
+        assert cache.evict("a") is False
+
+    def test_lru_evict_matching(self):
+        cache = LRUCache(max_entries=8)
+        cache.put("sim:performance:k=5:abc123", 1.0)
+        cache.put("dist:sim:performance:k=5:abc123", 2.0)
+        cache.put("sim:performance:k=5:def456", 3.0)
+        assert cache.evict_matching("abc123") == 2
+        assert cache.get("sim:performance:k=5:def456") == 3.0
+        assert cache.stats.evictions >= 2
+
+    def test_disk_evict_key_and_matching(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("sim:k=5:abc123", np.ones(4))
+        cache.put("meta:abc123", {"n": 1})
+        cache.put("sim:k=5:def456", np.zeros(4))
+        assert cache.evict("sim:k=5:abc123") is True
+        assert cache.get("sim:k=5:abc123") is None
+        assert cache.evict_matching("abc123") == 1  # the json entry
+        assert cache.get("meta:abc123") is None
+        assert cache.get("sim:k=5:def456") is not None
+
+    def test_artifact_cache_evicts_all_tiers(self, tmp_path):
+        cache = ArtifactCache(max_entries=8, disk_dir=tmp_path)
+        cache.put("sim:abc123", np.ones(3))
+        cache.put("sim:def456", np.ones(3))
+        assert cache.evict_matching("abc123") == 1
+        # Neither tier serves the evicted entry any more.
+        assert cache.get("sim:abc123") is None
+        assert cache.get("sim:def456") is not None
+        assert cache.evict("sim:def456") is True
+        assert cache.get("sim:def456") is None

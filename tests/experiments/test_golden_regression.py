@@ -1,0 +1,104 @@
+"""Golden regression tests for the reproduced tables and figures.
+
+Snapshots of the Table I/II/VI and Fig. 5/7 record outputs on the seeded
+12-model CV zoo live under ``tests/experiments/golden/``.  Every run
+recomputes the records and compares them against the snapshot with
+repr-exact float equality, so **any** numeric drift — a refactor that
+reorders a reduction, a changed default, a perturbed seed — fails loudly
+instead of silently changing the reproduced results.
+
+To regenerate after an *intentional* change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/experiments/test_golden_regression.py
+
+and commit the refreshed JSON together with the change that justifies it.
+"""
+
+import json
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig5_recall_quality,
+    fig7_selection_quality,
+    table1_clustering_methods,
+    table2_cluster_membership,
+    table6_end_to_end,
+)
+from repro.experiments.context import ExperimentContext
+
+pytestmark = pytest.mark.golden
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN", "") == "1"
+
+
+@pytest.fixture(scope="module")
+def context():
+    """The seeded zoo the snapshots were taken on (reduced CV repository)."""
+    return ExperimentContext(modality="cv", scale="small", num_models=12)
+
+
+def _normalize(obj):
+    """JSON-stable form: floats as repr strings (exact round-trip), NaN safe."""
+    if isinstance(obj, dict):
+        return {str(key): _normalize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(value) for value in obj]
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        return "NaN" if value != value else repr(value)
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    return obj
+
+
+def _assert_matches_golden(name: str, records) -> None:
+    payload = _normalize(records)
+    path = GOLDEN_DIR / f"{name}.json"
+    if UPDATE:
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert path.exists(), (
+        f"golden snapshot {path} is missing; regenerate it with "
+        "REPRO_UPDATE_GOLDEN=1 and commit it"
+    )
+    golden = json.loads(path.read_text())
+    assert payload == golden, (
+        f"{name} drifted from its golden snapshot {path.name}. If the change "
+        "is intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and commit the "
+        "refreshed snapshot alongside the code change."
+    )
+
+
+class TestGoldenExperiments:
+    def test_table1_clustering_methods(self, context):
+        records = table1_clustering_methods.run({"cv": context})
+        _assert_matches_golden("table1_clustering_methods", records)
+
+    def test_table2_cluster_membership(self, context):
+        records = table2_cluster_membership.run(context)
+        summary = table2_cluster_membership.run_summary(context)
+        _assert_matches_golden(
+            "table2_cluster_membership", {"records": records, "summary": summary}
+        )
+
+    def test_table6_end_to_end(self, context):
+        records = table6_end_to_end.run(context, targets=["beans"], top_k=5)
+        _assert_matches_golden("table6_end_to_end", records)
+
+    def test_fig5_recall_quality(self, context):
+        records = fig5_recall_quality.run(
+            context, k_values=(3, 5), num_random_repeats=2, targets=["beans"]
+        )
+        _assert_matches_golden("fig5_recall_quality", records)
+
+    def test_fig7_selection_quality(self, context):
+        records = fig7_selection_quality.run(
+            context, targets=["beans"], top_k=5, include_full_repository=False
+        )
+        _assert_matches_golden("fig7_selection_quality", records)

@@ -88,6 +88,47 @@ class TestBatchCommand:
         assert payload["totals"]["num_tasks"] == 2
 
 
+class TestZooCommand:
+    def test_zoo_add_reports_incremental_update(self):
+        out = run_cli("zoo", "add", "--models", "bondi/bert-semaphore-prediction-w4",
+                      *COMMON)
+        assert "zoo update" in out
+        assert "v0-" in out and "v1-" in out
+        assert "models       : 8 -> 9" in out
+
+    def test_zoo_add_verify_confirms_equivalence(self):
+        out = run_cli("zoo", "add", "--models", "bondi/bert-semaphore-prediction-w4",
+                      "--verify", *COMMON)
+        assert "bitwise-equal to a from-scratch rebuild" in out
+
+    def test_zoo_remove_json(self):
+        out = run_cli("zoo", "remove", "--models", "albert-base-v2", "--json",
+                      *COMMON)
+        payload = json.loads(out)
+        assert payload["removed"] == ["albert-base-v2"]
+        assert payload["num_models"] == 7
+        assert payload["new_version"].startswith("v1-")
+
+    def test_zoo_refresh_combined(self):
+        out = run_cli(
+            "zoo", "refresh", "--add", "bondi/bert-semaphore-prediction-w4",
+            "--remove", "albert-base-v2", "--json", *COMMON,
+        )
+        payload = json.loads(out)
+        assert payload["added"] and payload["removed"]
+        assert payload["num_models"] == 8
+
+    def test_zoo_refresh_without_changes_is_an_error(self):
+        stream = io.StringIO()
+        code = main(["zoo", "refresh", *COMMON], stream=stream)
+        assert code == 2
+
+    def test_zoo_unknown_model_is_friendly_error(self):
+        stream = io.StringIO()
+        code = main(["zoo", "remove", "--models", "nope", *COMMON], stream=stream)
+        assert code == 2
+
+
 class TestExperimentsCommand:
     def test_single_experiment_runs(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "small")

@@ -1,0 +1,21 @@
+"""Marker plumbing for the property-test tier.
+
+Everything under ``tests/property/`` is hypothesis-based and is
+automatically tagged with the ``property`` marker, so the fast CI tier can
+deselect the whole randomized tier with ``-m "not property"`` without each
+module repeating a ``pytestmark`` line.
+"""
+
+import pathlib
+
+import pytest
+
+_PROPERTY_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # The hook sees the whole session's items; only tag the ones that live
+    # under this directory.
+    for item in items:
+        if _PROPERTY_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.property)

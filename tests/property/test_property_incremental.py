@@ -1,0 +1,210 @@
+"""Property-based equivalence tests for the incremental zoo-update paths.
+
+The incremental offline-artifact refresh is only usable because it is
+*provably* equivalent to the from-scratch oracle:
+
+* :func:`update_similarity_matrix` must be **bitwise-identical** to a full
+  :func:`performance_similarity_matrix` recompute, for any sequence of
+  add/remove updates;
+* :func:`repro.cluster.incremental.update_clustering` must honour its
+  documented structural guarantees — surviving models' co-membership is
+  preserved exactly relative to the previous epoch, the stale-model count
+  never exceeds the configured budget without a re-cluster — and must fall
+  back to a full re-cluster (identical to the from-scratch oracle) once the
+  staleness threshold is crossed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.incremental import update_clustering
+from repro.core.config import ClusteringConfig
+from repro.core.model_clustering import ModelClusterer
+from repro.core.performance import PerformanceMatrix
+from repro.core.similarity import (
+    performance_similarity_matrix,
+    update_similarity_matrix,
+)
+
+
+def _matrix(values: np.ndarray, names) -> PerformanceMatrix:
+    return PerformanceMatrix(
+        dataset_names=[f"d{i}" for i in range(values.shape[0])],
+        model_names=list(names),
+        values=values,
+    )
+
+
+@st.composite
+def update_sequences(draw, max_steps=4, max_datasets=8, min_models=1):
+    """A base repository plus a sequence of randomized add/remove steps.
+
+    Each step removes a random subset of the surviving models and appends a
+    random number of fresh ones (unique names, random accuracy vectors), so
+    sequences cover add-only, remove-only, mixed and no-op-adjacent shapes.
+    """
+    d = draw(st.integers(min_value=1, max_value=max_datasets))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    base_n = draw(st.integers(min_value=min_models, max_value=8))
+    counter = [base_n]
+
+    def fresh_names(count):
+        names = [f"m{counter[0] + i}" for i in range(count)]
+        counter[0] += count
+        return names
+
+    base_names = [f"m{i}" for i in range(base_n)]
+    base_values = rng.uniform(0.0, 1.0, size=(d, base_n))
+    steps = []
+    current = list(base_names)
+    for _ in range(draw(st.integers(min_value=1, max_value=max_steps))):
+        removable = draw(
+            st.lists(st.sampled_from(current), unique=True, max_size=len(current))
+            if current
+            else st.just([])
+        )
+        num_added = draw(st.integers(min_value=0, max_value=4))
+        added = fresh_names(num_added)
+        survivors = [name for name in current if name not in set(removable)]
+        if not survivors and not added:
+            added = fresh_names(1)
+        current = survivors + added
+        steps.append((removable, added))
+    return d, rng, base_names, base_values, steps
+
+
+class TestIncrementalSimilarityEquivalence:
+    @given(update_sequences(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_equal_to_full_recompute_over_sequences(self, sequence, top_k):
+        """Chained incremental updates never drift from the oracle, bitwise."""
+        d, rng, names, values, steps = sequence
+        matrix = _matrix(values, names)
+        similarity = performance_similarity_matrix(matrix, top_k=top_k, cache=False)
+        for removed, added in steps:
+            survivors = [n for n in matrix.model_names if n not in set(removed)]
+            kept_idx = [matrix.model_names.index(n) for n in survivors]
+            new_values = np.concatenate(
+                [matrix.values[:, kept_idx], rng.uniform(0.0, 1.0, (d, len(added)))],
+                axis=1,
+            )
+            new_matrix = _matrix(new_values, survivors + added)
+            similarity = update_similarity_matrix(
+                matrix, similarity, new_matrix, top_k=top_k, cache=False
+            )
+            oracle = performance_similarity_matrix(
+                new_matrix, top_k=top_k, cache=False
+            )
+            assert similarity.shape == oracle.shape
+            assert np.array_equal(similarity, oracle)
+            matrix = new_matrix
+
+    @given(update_sequences(max_steps=1), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_chunked_incremental_matches_unchunked(self, sequence, chunk_rows):
+        d, rng, names, values, steps = sequence
+        matrix = _matrix(values, names)
+        similarity = performance_similarity_matrix(matrix, top_k=3, cache=False)
+        removed, added = steps[0]
+        survivors = [n for n in matrix.model_names if n not in set(removed)]
+        kept_idx = [matrix.model_names.index(n) for n in survivors]
+        new_values = np.concatenate(
+            [matrix.values[:, kept_idx], rng.uniform(0.0, 1.0, (d, len(added)))],
+            axis=1,
+        )
+        new_matrix = _matrix(new_values, survivors + added)
+        unchunked = update_similarity_matrix(
+            matrix, similarity, new_matrix, top_k=3, cache=False
+        )
+        chunked = update_similarity_matrix(
+            matrix, similarity, new_matrix, top_k=3, chunk_rows=chunk_rows, cache=False
+        )
+        assert np.array_equal(unchunked, chunked)
+
+
+class TestIncrementalClusteringBounds:
+    @given(update_sequences(min_models=3, max_datasets=6))
+    @settings(max_examples=40, deadline=None)
+    def test_staleness_bound_and_co_membership(self, sequence):
+        """Incremental updates preserve survivors' co-membership exactly and
+        never exceed the configured staleness budget without re-clustering."""
+        d, rng, names, values, steps = sequence
+        config = ClusteringConfig(staleness_threshold=0.6)
+        matrix = _matrix(values, names)
+        if len(names) < 2:
+            return
+        clustering = ModelClusterer(config).cluster(matrix, cache=False)
+        for removed, added in steps:
+            survivors = [n for n in matrix.model_names if n not in set(removed)]
+            kept_idx = [matrix.model_names.index(n) for n in survivors]
+            new_values = np.concatenate(
+                [matrix.values[:, kept_idx], rng.uniform(0.0, 1.0, (d, len(added)))],
+                axis=1,
+            )
+            new_matrix = _matrix(new_values, survivors + added)
+            if len(new_matrix.model_names) < 2:
+                break
+            new_similarity = update_similarity_matrix(
+                matrix, clustering.similarity, new_matrix,
+                top_k=config.top_k, cache=False,
+            )
+            update = update_clustering(
+                clustering, new_matrix, new_similarity, config=config
+            )
+            n = len(new_matrix.model_names)
+            if update.reclustered:
+                assert update.staleness == 0.0
+                assert update.clustering.extras["stale_models"] == 0.0
+            else:
+                # The documented budget: at most staleness_threshold * n
+                # models were placed without a full clustering run.
+                stale = update.clustering.extras["stale_models"]
+                assert stale <= config.staleness_threshold * n
+                # Survivors' pairwise co-membership is preserved exactly.
+                for i, a in enumerate(survivors):
+                    for b in survivors[i + 1:]:
+                        together_before = clustering.cluster_of(a) == clustering.cluster_of(b)
+                        together_after = (
+                            update.clustering.cluster_of(a)
+                            == update.clustering.cluster_of(b)
+                        )
+                        assert together_before == together_after
+                # Every non-singleton cluster elects a representative member.
+                for cid, members in (
+                    update.clustering.assignment.non_singleton_clusters().items()
+                ):
+                    assert update.clustering.representatives[cid] in members
+            matrix, clustering = new_matrix, update.clustering
+
+    @given(update_sequences(min_models=3, max_steps=1, max_datasets=6))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_threshold_always_matches_oracle(self, sequence):
+        """staleness_threshold=0 turns every update into a full re-cluster
+        identical to clustering the new repository from scratch."""
+        d, rng, names, values, steps = sequence
+        config = ClusteringConfig(staleness_threshold=0.0)
+        matrix = _matrix(values, names)
+        clustering = ModelClusterer(config).cluster(matrix, cache=False)
+        removed, added = steps[0]
+        survivors = [n for n in matrix.model_names if n not in set(removed)]
+        kept_idx = [matrix.model_names.index(n) for n in survivors]
+        new_values = np.concatenate(
+            [matrix.values[:, kept_idx], rng.uniform(0.0, 1.0, (d, len(added)))],
+            axis=1,
+        )
+        new_matrix = _matrix(new_values, survivors + added)
+        if len(new_matrix.model_names) < 2:
+            return
+        new_similarity = update_similarity_matrix(
+            matrix, clustering.similarity, new_matrix, top_k=config.top_k, cache=False
+        )
+        update = update_clustering(clustering, new_matrix, new_similarity, config=config)
+        if removed or added:
+            assert update.reclustered
+        oracle = ModelClusterer(config).cluster(new_matrix, cache=False)
+        assert np.array_equal(
+            update.clustering.assignment.labels, oracle.assignment.labels
+        )
+        assert update.clustering.representatives == oracle.representatives

@@ -72,3 +72,75 @@ class TestModelConstruction:
         cards = nlp_hub_small.model_cards()
         assert set(cards) == set(nlp_hub_small.model_names)
         assert all(len(card) > 50 for card in cards.values())
+
+
+class TestZooVersion:
+    def test_fresh_hub_is_epoch_zero(self, nlp_hub_small):
+        version = nlp_hub_small.version
+        assert version.epoch == 0
+        assert version.key.startswith("v0-")
+
+    def test_fingerprint_is_content_based(self, nlp_suite_small, nlp_hub_small):
+        same = ModelHub(nlp_suite_small, seed=0).subset(nlp_hub_small.model_names)
+        assert same.version.fingerprint == nlp_hub_small.version.fingerprint
+        other_seed = ModelHub(nlp_suite_small, seed=1).subset(nlp_hub_small.model_names)
+        assert other_seed.version.fingerprint != nlp_hub_small.version.fingerprint
+
+    def test_with_changes_bumps_epoch_and_fingerprint(self, nlp_hub_small):
+        removed = nlp_hub_small.model_names[0]
+        updated = nlp_hub_small.with_changes(removed=[removed])
+        assert updated.version.epoch == 1
+        assert updated.version.fingerprint != nlp_hub_small.version.fingerprint
+        assert removed not in updated.model_names
+        # The original hub is untouched.
+        assert removed in nlp_hub_small.model_names
+        assert nlp_hub_small.version.epoch == 0
+
+    def test_with_changes_resolves_names_from_catalogue(self, nlp_hub_small):
+        new_name = "aviator-neural/bert-base-uncased-sst2"
+        assert new_name not in nlp_hub_small.model_names
+        updated = nlp_hub_small.with_changes(added=[new_name])
+        assert updated.model_names[-1] == new_name
+        assert len(updated) == len(nlp_hub_small) + 1
+
+    def test_with_changes_shares_built_models(self, nlp_hub_small):
+        kept = nlp_hub_small.model_names[1]
+        built = nlp_hub_small.get(kept)
+        updated = nlp_hub_small.with_changes(removed=[nlp_hub_small.model_names[0]])
+        assert updated.get(kept) is built
+
+    def test_shared_models_match_a_cold_build(self, nlp_suite_small, nlp_hub_small):
+        updated = nlp_hub_small.with_changes(removed=[nlp_hub_small.model_names[0]])
+        cold = ModelHub(nlp_suite_small, seed=0).subset(updated.model_names)
+        name = updated.model_names[0]
+        assert np.array_equal(
+            updated.get(name).concept_gains, cold.get(name).concept_gains
+        )
+
+    def test_invalid_updates_rejected(self, nlp_hub_small):
+        with pytest.raises(HubError):
+            nlp_hub_small.with_changes(removed=["not-a-model"])
+        with pytest.raises(HubError):
+            nlp_hub_small.with_changes(added=[nlp_hub_small.model_names[0]])
+        with pytest.raises(HubError):
+            nlp_hub_small.with_changes(added=["definitely-not-in-catalogue"])
+        new_name = "connectivity/bert_ft_qqp-1"
+        with pytest.raises(HubError):
+            nlp_hub_small.with_changes(added=[new_name], removed=[new_name])
+        with pytest.raises(HubError):
+            nlp_hub_small.with_changes(removed=list(nlp_hub_small.model_names))
+
+    def test_fingerprint_covers_entry_contents(self, nlp_hub_small):
+        from repro.zoo.catalog import ModelCatalogEntry
+
+        strong = ModelCatalogEntry(
+            name="custom-x", modality="nlp", architecture="bert",
+            family="a", quality=0.9,
+        )
+        weak = ModelCatalogEntry(
+            name="custom-x", modality="nlp", architecture="bert",
+            family="b", quality=0.3,
+        )
+        v_strong = nlp_hub_small.with_changes(added=[strong]).version
+        v_weak = nlp_hub_small.with_changes(added=[weak]).version
+        assert v_strong.fingerprint != v_weak.fingerprint
