@@ -2,7 +2,9 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-all ci ci-full docs-check bench-parallel bench-incremental examples
+.PHONY: test test-fast test-all ci ci-full docs-check docs-api docs-api-check \
+        bench-parallel bench-incremental bench-similarity bench-ooc bench-smoke \
+        examples
 
 # Tier-1 verify: the full suite (what CI runs on main).
 test:
@@ -17,21 +19,42 @@ test-fast:
 test-all:
 	$(PY) -m pytest -q
 
-# CI entry points: `ci` on every change, `ci-full` on main.
-ci: test-fast
+# CI entry points: `ci` on every change, `ci-full` on main.  The fast path
+# also smoke-runs the out-of-core kernels (equivalence gate at tiny n) and
+# verifies the generated API reference is current.
+ci: test-fast bench-smoke docs-api-check
 
 ci-full: test-all docs-check
 
 # Validate documentation: every fenced Python block in README/docs runs,
-# every intra-doc link (and anchor) resolves.
+# every intra-doc link (and anchor) resolves, and docs/api matches a fresh
+# render of the public docstrings.
 docs-check:
 	$(PY) -m pytest tests/docs -q
+
+# Regenerate the markdown API reference under docs/api/ (commit the result).
+docs-api:
+	$(PY) tools/gen_api_docs.py
+
+docs-api-check:
+	$(PY) tools/gen_api_docs.py --check
 
 bench-parallel:
 	$(PY) benchmarks/bench_parallel_selection.py
 
 bench-incremental:
-	$(PY) benchmarks/bench_incremental_update.py
+	$(PY) benchmarks/bench_incremental_update.py --json-out benchmarks/bench_incremental_update.json
+
+bench-similarity:
+	$(PY) benchmarks/bench_similarity_scaling.py
+
+# Out-of-core offline phase: full n=5000 budgeted build (minutes) and the
+# seconds-long smoke tier CI runs on every change.
+bench-ooc:
+	$(PY) benchmarks/bench_ooc_scaling.py
+
+bench-smoke:
+	$(PY) benchmarks/bench_ooc_scaling.py --smoke
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

@@ -25,6 +25,7 @@ recompute (the PR's acceptance bar; ``--quick`` skips the timing gate).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List
@@ -121,10 +122,21 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="single repeat, no timing gate (smoke check)",
     )
+    parser.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="also write the timing records as JSON (CI uploads these)",
+    )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else 3
 
     records = run(repeats=repeats)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"d": NUM_DATASETS, "top_k": TOP_K, "records": records},
+                handle,
+                indent=2,
+            )
     print(f"incremental zoo update vs full recompute (d={NUM_DATASETS}, top_k={TOP_K})")
     print(f"{'n':>5} {'add':>4} {'full':>10} {'incremental':>12} {'speedup':>8}  equal")
     for record in records:

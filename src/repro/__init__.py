@@ -17,6 +17,8 @@ zoo:
   of the paper's evaluation section,
 * :mod:`repro.parallel` — executor backends (serial/thread/process) the
   online hot paths fan out over,
+* :mod:`repro.store` — memory-mapped matrix store backing the out-of-core
+  offline phase once zoos outgrow RAM (see ``docs/scaling.md``),
 * :mod:`repro.service` — the long-lived :class:`~repro.service.SelectionService`
   answering many requests off one warm offline phase (the CLI front-end is
   ``python -m repro``, see ``docs/cli.md``).
@@ -43,6 +45,7 @@ from repro.core import (
     OfflineArtifacts,
     PerformanceMatrix,
     PipelineConfig,
+    SimilarityConfig,
     SuccessiveHalving,
     TwoPhaseResult,
     TwoPhaseSelector,
@@ -51,9 +54,10 @@ from repro.core import (
 from repro.data import DataScale, WorkloadSuite, cv_suite, nlp_suite
 from repro.parallel import ParallelConfig
 from repro.service import SelectionService
+from repro.store import MatrixStore
 from repro.zoo import FineTuner, ModelHub
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchSelectionReport",
@@ -64,6 +68,7 @@ __all__ = [
     "OfflineArtifacts",
     "PerformanceMatrix",
     "PipelineConfig",
+    "SimilarityConfig",
     "SuccessiveHalving",
     "TwoPhaseResult",
     "TwoPhaseSelector",
@@ -73,6 +78,7 @@ __all__ = [
     "cv_suite",
     "nlp_suite",
     "FineTuner",
+    "MatrixStore",
     "ModelHub",
     "ParallelConfig",
     "SelectionService",

@@ -215,13 +215,19 @@ class DiskCache:
     def _path_stem(self, key: str) -> Path:
         return self.directory / _UNSAFE_FILENAME.sub("_", key)
 
-    def get(self, key: str) -> Optional[Any]:
-        """Load the artifact stored under ``key`` (or ``None``)."""
+    def get(self, key: str, *, mmap_mode: Optional[str] = None) -> Optional[Any]:
+        """Load the artifact stored under ``key`` (or ``None``).
+
+        ``mmap_mode`` (e.g. ``"r"``) opens array payloads as a
+        :class:`numpy.memmap` instead of reading them into RAM — pages load
+        on demand, and POSIX unlink semantics mean a reader holding the map
+        survives a concurrent :meth:`evict` of the entry.
+        """
         stem = self._path_stem(key)
         npy, meta = stem.with_suffix(stem.suffix + ".npy"), stem.with_suffix(stem.suffix + ".json")
         try:
             if npy.exists():
-                value = np.load(npy, allow_pickle=False)
+                value = np.load(npy, mmap_mode=mmap_mode, allow_pickle=False)
                 self.stats.record_hit()
                 return value
             if meta.exists():

@@ -5,7 +5,9 @@ the experiment runner (see ``docs/cli.md``)::
 
     python -m repro select       # one target: coarse recall + fine selection
     python -m repro batch        # many targets off one shared clustering
-    python -m repro zoo          # add/remove/refresh checkpoints incrementally
+    python -m repro zoo          # add/remove/refresh checkpoints incrementally,
+                                 # or `zoo build [--ooc --max-memory MB]` to run
+                                 # the (optionally out-of-core) offline phase
     python -m repro experiments  # regenerate the paper's tables and figures
     python -m repro bench        # serial-vs-parallel batched-selection timing
 
@@ -79,6 +81,19 @@ def _build_service(args: argparse.Namespace):
         num_models=args.num_models,
         parallel=_parallel_config(args),
     )
+
+
+def _build_hub(args: argparse.Namespace):
+    """Workload suite + (optionally truncated) hub from the common flags."""
+    from repro.data.workloads import DataScale, suite_for_modality
+    from repro.zoo.hub import ModelHub
+
+    data_scale = DataScale.default() if args.scale == "full" else DataScale.small()
+    suite = suite_for_modality(args.modality, seed=args.seed, scale=data_scale)
+    hub = ModelHub(suite, seed=args.seed)
+    if args.num_models is not None:
+        hub = hub.subset(hub.model_names[: args.num_models])
+    return suite, hub
 
 
 def _result_payload(result: TwoPhaseResult) -> Dict[str, object]:
@@ -244,6 +259,63 @@ def _cmd_zoo(args: argparse.Namespace, stream) -> int:
     return 0
 
 
+def _cmd_zoo_build(args: argparse.Namespace, stream) -> int:
+    """Run the offline phase — optionally out-of-core — and report on it."""
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.core.config import PipelineConfig, SimilarityConfig
+    from repro.core.pipeline import OfflineArtifacts
+
+    suite, hub = _build_hub(args)
+    defaults = SimilarityConfig()
+    similarity = SimilarityConfig(
+        max_bytes_in_flight=(
+            args.max_memory * 1024 * 1024
+            if args.max_memory is not None
+            else defaults.max_bytes_in_flight
+        ),
+        spill_threshold_bytes=0 if args.ooc else defaults.spill_threshold_bytes,
+        store_dir=args.store_dir,
+        parallel=_parallel_config(args),
+    )
+    config = replace(PipelineConfig.for_modality(args.modality), similarity=similarity)
+    started = time.perf_counter()
+    artifacts = OfflineArtifacts.build(hub, suite, config=config)
+    elapsed = time.perf_counter() - started
+    matrix = artifacts.clustering.similarity
+    spilled = isinstance(matrix, np.memmap)
+    summary = artifacts.clustering.summary()
+    payload: Dict[str, object] = {
+        "modality": args.modality,
+        "num_models": len(artifacts.hub),
+        "num_benchmarks": len(artifacts.matrix.dataset_names),
+        "num_clusters": int(summary["num_clusters"]),
+        "similarity_backing": "memmap" if spilled else "memory",
+        "similarity_bytes": int(matrix.nbytes),
+        "max_bytes_in_flight": similarity.max_bytes_in_flight,
+        "elapsed_seconds": elapsed,
+    }
+    if spilled:
+        payload["store_path"] = str(matrix.filename)
+    if args.json:
+        json.dump(payload, stream, indent=2)
+        print(file=stream)
+        return 0
+    print(f"offline build : {payload['num_models']} {args.modality} models x "
+          f"{payload['num_benchmarks']} benchmarks", file=stream)
+    print(f"clusters      : {payload['num_clusters']}", file=stream)
+    print(f"similarity    : {payload['similarity_bytes'] / 1e6:.1f} MB "
+          f"({payload['similarity_backing']})", file=stream)
+    if spilled:
+        print(f"store         : {payload['store_path']}", file=stream)
+        print(f"memory budget : {similarity.max_bytes_in_flight / 1e6:.0f} MB in flight",
+              file=stream)
+    print(f"build time    : {elapsed:.2f}s", file=stream)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace, stream) -> int:
     from repro.experiments.runner import render_report, run_all
 
@@ -271,15 +343,9 @@ def _cmd_experiments(args: argparse.Namespace, stream) -> int:
 def _cmd_bench(args: argparse.Namespace, stream) -> int:
     from repro.core.batch import BatchedSelectionRunner
     from repro.core.pipeline import OfflineArtifacts
-    from repro.data.workloads import DataScale, suite_for_modality
     from repro.core.config import PipelineConfig
-    from repro.zoo.hub import ModelHub
 
-    data_scale = DataScale.default() if args.scale == "full" else DataScale.small()
-    suite = suite_for_modality(args.modality, seed=args.seed, scale=data_scale)
-    hub = ModelHub(suite, seed=args.seed)
-    if args.num_models is not None:
-        hub = hub.subset(hub.model_names[: args.num_models])
+    suite, hub = _build_hub(args)
     config = PipelineConfig.for_modality(args.modality)
     print(
         f"[offline] building artifacts for {len(hub)} {args.modality} models ...",
@@ -401,6 +467,36 @@ def build_parser() -> argparse.ArgumentParser:
     zoo_refresh.add_argument(
         "--remove", nargs="+", default=None, metavar="NAME", help="models to remove"
     )
+
+    zoo_build = zoo_commands.add_parser(
+        "build",
+        help="run the offline phase (optionally out-of-core) and report "
+        "artifact statistics",
+    )
+    _add_common_arguments(zoo_build)
+    zoo_build.add_argument(
+        "--ooc",
+        action="store_true",
+        help="force out-of-core operation: spill the similarity/distance "
+        "matrices to the memory-mapped store regardless of size",
+    )
+    zoo_build.add_argument(
+        "--max-memory",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="matrix memory held in flight while streaming similarity tiles "
+        "(default: 64 MB); see docs/scaling.md",
+    )
+    zoo_build.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="matrix store directory (default: REPRO_STORE_DIR or a "
+        "process-temporary directory)",
+    )
+    zoo_build.add_argument("--json", action="store_true", help="emit JSON")
+    zoo_build.set_defaults(handler=_cmd_zoo_build)
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

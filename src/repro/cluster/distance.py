@@ -5,6 +5,14 @@ model clusterer: it derives the ``d = 1 - s`` distance matrix from the
 (vectorized, memoised) Eq. 1 similarity of a performance matrix, and
 memoises the converted distances under their own key so downstream
 consumers skip even the conversion on repeat runs.
+
+For out-of-core repositories the same conversion runs tile-by-tile:
+:func:`distance_memmap_for` reads row blocks of a (memmapped) similarity
+matrix on demand and writes the distance tiles into the
+:mod:`repro.store` matrix store, so the clustering layer never holds a
+dense ``(n, n)`` matrix in RAM.  :func:`check_distance_matrix` and
+:func:`upper_triangle_values` stream memmapped inputs block-wise for the
+same reason.
 """
 
 from __future__ import annotations
@@ -14,10 +22,17 @@ from typing import TYPE_CHECKING, Dict, Optional
 import numpy as np
 
 from repro.cache import CacheLike, distance_key, resolve_cache, similarity_key
+from repro.store import StoreLike, iter_row_blocks, resolve_store
 from repro.utils.exceptions import DataError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import SimilarityConfig
     from repro.core.performance import PerformanceMatrix
+
+#: Rows per block when streaming a memory-mapped matrix through the
+#: validation / conversion helpers (also used by the clustering layer's
+#: working-copy and nearest-cache initialisation).
+STREAM_BLOCK_ROWS = 512
 
 
 def pairwise_distances(points: np.ndarray, *, metric: str = "euclidean") -> np.ndarray:
@@ -113,10 +128,23 @@ def distance_matrix_for(
 
 
 def check_distance_matrix(matrix: np.ndarray) -> np.ndarray:
-    """Validate a precomputed distance matrix (square, symmetric, zero diagonal)."""
-    arr = np.asarray(matrix, dtype=float)
+    """Validate a precomputed distance matrix (square, symmetric, zero diagonal).
+
+    Memory-mapped inputs are validated block-by-block (bounded RAM); the
+    checks and their tolerances are identical to the dense path.
+    """
+    if isinstance(matrix, np.ndarray) and matrix.dtype == np.float64:
+        # Keep the instance as-is: np.asarray would demote an out-of-core
+        # np.memmap to a plain-ndarray view and silently send it down the
+        # dense (densifying) validation and clustering paths.
+        arr = matrix
+    else:
+        arr = np.asarray(matrix, dtype=float)
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
         raise DataError(f"distance matrix must be square, got shape {arr.shape}")
+    if isinstance(arr, np.memmap):
+        _check_distance_memmap(arr)
+        return arr
     if np.any(arr < -1e-9):
         raise DataError("distance matrix contains negative entries")
     if not np.allclose(arr, arr.T, atol=1e-8):
@@ -124,3 +152,99 @@ def check_distance_matrix(matrix: np.ndarray) -> np.ndarray:
     if not np.allclose(np.diag(arr), 0.0, atol=1e-8):
         raise DataError("distance matrix must have a zero diagonal")
     return arr
+
+
+def _check_distance_memmap(arr: np.memmap) -> None:
+    """Blocked negative/symmetry/diagonal checks for memmapped distances."""
+    n = arr.shape[0]
+    spans = list(iter_row_blocks(n, STREAM_BLOCK_ROWS))
+    for start, stop in spans:
+        block = np.asarray(arr[start:stop])
+        if np.any(block < -1e-9):
+            raise DataError("distance matrix contains negative entries")
+        diagonal = block[np.arange(stop - start), np.arange(start, stop)]
+        if not np.allclose(diagonal, 0.0, atol=1e-8):
+            raise DataError("distance matrix must have a zero diagonal")
+    for i, (row_start, row_stop) in enumerate(spans):
+        for col_start, col_stop in spans[i:]:
+            block = arr[row_start:row_stop, col_start:col_stop]
+            mirror = arr[col_start:col_stop, row_start:row_stop]
+            if not np.allclose(block, np.asarray(mirror).T, atol=1e-8):
+                raise DataError("distance matrix must be symmetric")
+
+
+def upper_triangle_values(matrix: np.ndarray, *, block_rows: int = STREAM_BLOCK_ROWS) -> np.ndarray:
+    """Off-diagonal upper-triangle values of a square matrix, row-major.
+
+    Exactly the values (in exactly the order) of
+    ``matrix[np.triu_indices_from(matrix, k=1)]`` — so downstream
+    statistics (the clustering threshold quantile) are bitwise-identical —
+    but gathered row-block by row-block: memmapped matrices are streamed
+    without materialising the ``O(n^2)`` index arrays the ``triu`` route
+    needs.  The returned array still holds ``n (n - 1) / 2`` floats
+    (``~4 n^2`` bytes); ``docs/scaling.md`` accounts for it in the memory
+    model.
+    """
+    n = matrix.shape[0]
+    out = np.empty(n * (n - 1) // 2, dtype=float)
+    position = 0
+    for start, stop in iter_row_blocks(n, block_rows):
+        # Copy straight into the preallocated result: holding per-row views
+        # would pin every source block in memory until the final concat.
+        block = np.asarray(matrix[start:stop])
+        for i in range(start, stop):
+            width = n - i - 1
+            out[position : position + width] = block[i - start, i + 1 :]
+            position += width
+    return out
+
+
+def distance_memmap_for(
+    matrix: "PerformanceMatrix",
+    similarity: np.ndarray,
+    *,
+    top_k: int = 5,
+    config: Optional["SimilarityConfig"] = None,
+    store: StoreLike = None,
+) -> np.ndarray:
+    """Out-of-core ``d = 1 - s`` conversion of a (memmapped) Eq. 1 similarity.
+
+    Reads ``similarity`` row tiles on demand, writes the converted distance
+    tiles into the matrix store under the canonical distance key (derived
+    from the similarity key, as in :func:`distance_matrix_for`) and returns
+    the published read-only memmap.
+
+    Requires the exact symmetry the Eq. 1 matrix guarantees by
+    construction (``s[i, j] == s[j, i]`` bitwise): under it the dense
+    path's symmetrisation ``(d + d.T) / 2`` is the identity, so the tile
+    conversion — clip to ``[0, inf)``, zero diagonal — produces a result
+    bitwise-identical to
+    ``similarity_to_distance(similarity)``.  The property suite enforces
+    this equivalence.
+    """
+    from repro.core.config import SimilarityConfig
+
+    config = config or SimilarityConfig()
+    matrix_store = resolve_store(store if store is not None else config.store_dir)
+    key = distance_key(similarity_key(matrix, method="performance", top_k=top_k))
+    n = similarity.shape[0]
+    if similarity.ndim != 2 or similarity.shape != (n, n):
+        raise DataError(
+            f"similarity must be a square matrix, got shape {similarity.shape}"
+        )
+    existing = matrix_store.open(key)
+    if existing is not None and existing.shape == (n, n):
+        return existing
+    writer = matrix_store.create(key, (n, n))
+    try:
+        out = writer.array
+        block_rows = max(1, config.max_bytes_in_flight // max(1, n * 8 * 2))
+        for start, stop in iter_row_blocks(n, block_rows):
+            tile = 1.0 - np.asarray(similarity[start:stop])
+            np.clip(tile, 0.0, None, out=tile)
+            tile[np.arange(stop - start), np.arange(start, stop)] = 0.0
+            out[start:stop] = tile
+        return writer.commit()
+    except BaseException:
+        writer.abort()
+        raise

@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.assignments import ClusterAssignment
-from repro.cluster.distance import check_distance_matrix
+from repro.cluster.distance import STREAM_BLOCK_ROWS, check_distance_matrix
+from repro.store import StoreLike, iter_row_blocks, resolve_store
 from repro.utils.exceptions import ConfigurationError, DataError
 
 
@@ -58,44 +59,120 @@ class AgglomerativeClustering:
         self.merge_history_: List[tuple] = []
 
     # ------------------------------------------------------------------ #
-    def fit_predict(self, distance_matrix: np.ndarray) -> np.ndarray:
-        """Cluster items given their pairwise distances; returns labels."""
+    def fit_predict(
+        self, distance_matrix: np.ndarray, *, work_store: StoreLike = None
+    ) -> np.ndarray:
+        """Cluster items given their pairwise distances; returns labels.
+
+        Memory-mapped distance matrices are clustered **without
+        densifying**: the mutable linkage working matrix is spilled to a
+        scratch memmap in the matrix store (``work_store`` or the process
+        default), original distances are read as on-demand blocks, and the
+        closest pair is found by an allocation-free scan over the working
+        matrix.  The merge sequence — and therefore the labels — is
+        identical to the in-RAM path: inactive rows/columns hold ``inf``,
+        so the row-major argmin visits the active pairs in exactly the
+        order the former active-submatrix scan did.
+
+        Transient memory is ``O(|merged cluster| x n)`` per merge (the
+        merged cluster's raw rows are fetched in one block so linkage
+        means stay bit-exact); with threshold-stopped runs clusters stay
+        small, but near-``num_clusters=1`` configurations approach a full
+        row set — see the memory model in ``docs/scaling.md``.
+        """
         distances = check_distance_matrix(distance_matrix)
         n = distances.shape[0]
         if n == 0:
             raise DataError("cannot cluster zero items")
         target_clusters = self.num_clusters if self.num_clusters is not None else 1
         clusters: List[List[int]] = [[i] for i in range(n)]
-        # Working linkage-distance matrix between current clusters.
-        linkage_distances = distances.copy().astype(float)
+        # Working linkage-distance matrix between current clusters.  For a
+        # memmapped input it is a scratch memmap too (deleted afterwards);
+        # in-RAM inputs keep the plain-copy behaviour.
+        scratch = None
+        if isinstance(distances, np.memmap):
+            scratch = resolve_store(work_store).scratch((n, n), prefix="linkage")
+            linkage_distances = scratch.array
+            for start, stop in iter_row_blocks(n, STREAM_BLOCK_ROWS):
+                linkage_distances[start:stop] = distances[start:stop]
+        else:
+            linkage_distances = distances.astype(float)
         np.fill_diagonal(linkage_distances, np.inf)
         active = list(range(n))
         self.merge_history_ = []
 
-        while len(active) > max(target_clusters, 1):
-            sub = linkage_distances[np.ix_(active, active)]
-            flat_index = int(np.argmin(sub))
-            row, col = divmod(flat_index, len(active))
-            if row == col:
-                break
-            best_distance = float(sub[row, col])
-            if self.distance_threshold is not None and best_distance > self.distance_threshold:
-                break
-            first, second = active[row], active[col]
-            self.merge_history_.append((first, second, best_distance))
-            merged_members = clusters[first] + clusters[second]
-            clusters[first] = merged_members
-            clusters[second] = []
-            # Update linkage distances of the merged cluster to all others.
-            for other in active:
-                if other in (first, second):
-                    continue
-                linkage_distances[first, other] = linkage_distances[other, first] = (
-                    self._linkage_distance(distances, merged_members, clusters[other])
-                )
-            linkage_distances[second, :] = np.inf
-            linkage_distances[:, second] = np.inf
-            active.remove(second)
+        # Per-row nearest cache: row_min[i] / row_arg[i] hold the minimum of
+        # working row i and the *first* column attaining it.  The closest
+        # pair is then (argmin(row_min), row_arg[...]) — exactly the pair a
+        # row-major scan of the full working matrix would find, ties
+        # included (argmin breaks ties towards the lowest index, and the
+        # cache maintenance below preserves first-occurrence semantics), so
+        # the merge sequence is identical to an exhaustive scan while each
+        # iteration touches O(active) entries instead of O(n^2).
+        row_min = np.empty(n)
+        row_arg = np.empty(n, dtype=int)
+        for start, stop in iter_row_blocks(n, STREAM_BLOCK_ROWS):
+            block = np.asarray(linkage_distances[start:stop])
+            row_arg[start:stop] = np.argmin(block, axis=1)
+            row_min[start:stop] = block[np.arange(stop - start), row_arg[start:stop]]
+
+        def rescan(row: int) -> None:
+            values = linkage_distances[row]
+            index = int(np.argmin(values))
+            row_arg[row] = index
+            row_min[row] = values[index]
+
+        try:
+            while len(active) > max(target_clusters, 1):
+                first = int(np.argmin(row_min))
+                second = int(row_arg[first])
+                best_distance = float(row_min[first])
+                if first == second or not np.isfinite(best_distance):
+                    break  # every remaining pair is inactive (inf)
+                if self.distance_threshold is not None and best_distance > self.distance_threshold:
+                    break
+                self.merge_history_.append((first, second, best_distance))
+                merged_members = clusters[first] + clusters[second]
+                clusters[first] = merged_members
+                clusters[second] = []
+                # Retire the absorbed cluster *before* updating the others:
+                # cache rescans below must never see a stale finite entry in
+                # its column.
+                linkage_distances[second, :] = np.inf
+                linkage_distances[:, second] = np.inf
+                row_min[second] = np.inf
+                active.remove(second)
+                # Update linkage distances of the merged cluster to all
+                # others.  The merged cluster's raw-distance rows are
+                # fetched once — for a memmapped input this is the only
+                # bulk read of the iteration — and every linkage value is
+                # computed from the same contiguous blocks the naive
+                # ``distances[np.ix_(a, b)]`` lookups produced, so the
+                # floating-point results are unchanged.
+                merged_rows = np.asarray(distances[merged_members])
+                for other in active:
+                    if other == first:
+                        continue
+                    # take() yields a C-contiguous block — the same layout
+                    # (hence the same pairwise-summation order in mean())
+                    # as the historical distances[np.ix_(a, b)] lookup.
+                    value = self._linkage_block(
+                        np.take(merged_rows, clusters[other], axis=1)
+                    )
+                    linkage_distances[first, other] = linkage_distances[other, first] = value
+                    arg = int(row_arg[other])
+                    if arg == first or arg == second:
+                        # The cached minimum's own column changed; rescan.
+                        rescan(other)
+                    elif value < row_min[other] or (
+                        value == row_min[other] and first < arg
+                    ):
+                        row_min[other] = value
+                        row_arg[other] = first
+                rescan(first)
+        finally:
+            if scratch is not None:
+                scratch.close()
 
         labels = np.empty(n, dtype=int)
         for new_id, cluster_index in enumerate(sorted(active)):
@@ -103,15 +180,18 @@ class AgglomerativeClustering:
                 labels[member] = new_id
         return labels
 
-    def _linkage_distance(
-        self, distances: np.ndarray, members_a: List[int], members_b: List[int]
-    ) -> float:
-        block = distances[np.ix_(members_a, members_b)]
+    def _linkage_block(self, block: np.ndarray) -> float:
+        """Linkage distance of one ``(|a|, |b|)`` raw-distance block."""
         if self.linkage == "average":
             return float(block.mean())
         if self.linkage == "single":
             return float(block.min())
         return float(block.max())
+
+    def _linkage_distance(
+        self, distances: np.ndarray, members_a: List[int], members_b: List[int]
+    ) -> float:
+        return self._linkage_block(distances[np.ix_(members_a, members_b)])
 
 
 def hierarchical_cluster(

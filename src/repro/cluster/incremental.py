@@ -41,7 +41,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.cluster.assignments import ClusterAssignment
-from repro.cluster.distance import similarity_to_distance
+from repro.cluster.distance import similarity_to_distance, upper_triangle_values
 from repro.core.config import ClusteringConfig
 from repro.core.model_clustering import ModelClusterer, ModelClustering
 from repro.core.performance import PerformanceMatrix
@@ -95,6 +95,7 @@ def update_clustering(
     config: Optional[ClusteringConfig] = None,
     seed: int = 0,
     distance: Optional[np.ndarray] = None,
+    similarity_config=None,
 ) -> ClusteringUpdate:
     """Patch ``old`` to cover the models of ``new_matrix``.
 
@@ -111,7 +112,10 @@ def update_clustering(
     ``distance`` optionally supplies the precomputed
     ``similarity_to_distance(new_similarity)`` conversion so callers that
     already hold it (e.g. the refresh path warming the distance cache)
-    avoid a second ``O(n^2)`` pass.
+    avoid a second ``O(n^2)`` pass.  ``similarity_config`` carries the
+    out-of-core memory policy through to a threshold-triggered full
+    re-cluster, so its scratch working matrix spills into the configured
+    store rather than the process default.
 
     When the accumulated stale fraction — incrementally placed or removed
     models since the last full run — would exceed
@@ -122,7 +126,11 @@ def update_clustering(
     """
     config = config or old.config
     new_names = new_matrix.model_names
-    new_similarity = np.asarray(new_similarity, dtype=float)
+    if not (isinstance(new_similarity, np.ndarray) and new_similarity.dtype == np.float64):
+        # Rewrap only when needed: np.asarray would demote an out-of-core
+        # np.memmap to a plain-ndarray view and hide its disk backing from
+        # downstream reporting.
+        new_similarity = np.asarray(new_similarity, dtype=float)
     if new_similarity.shape != (len(new_names), len(new_names)):
         raise DataError(
             f"similarity shape {new_similarity.shape} does not match the "
@@ -139,7 +147,15 @@ def update_clustering(
 
     def full_recluster() -> ClusteringUpdate:
         clusterer = ModelClusterer(config, seed=seed)
-        clustering = clusterer.cluster(new_matrix, similarity=new_similarity)
+        # Hand the precomputed (possibly memmapped) distance through so the
+        # re-cluster neither repeats the O(n^2) conversion nor densifies an
+        # out-of-core matrix.
+        clustering = clusterer.cluster(
+            new_matrix,
+            similarity=new_similarity,
+            distance=distance,
+            similarity_config=similarity_config,
+        )
         return ClusteringUpdate(
             clustering=clustering,
             reclustered=True,
@@ -169,7 +185,7 @@ def update_clustering(
     # built with an explicit cluster count, or k-means).
     threshold = old.extras.get("distance_threshold")
     if threshold is None:
-        off_diagonal = distance[np.triu_indices_from(distance, k=1)]
+        off_diagonal = upper_triangle_values(distance)
         threshold = float(np.quantile(off_diagonal, config.threshold_quantile))
 
     # Surviving models keep their old cluster label (re-indexed later).

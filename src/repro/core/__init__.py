@@ -29,6 +29,7 @@ from repro.core.config import (
     FineSelectionConfig,
     PipelineConfig,
     RecallConfig,
+    SimilarityConfig,
 )
 from repro.core.convergence import (
     ConvergenceTrend,
@@ -57,8 +58,10 @@ from repro.core.selection import (
 from repro.core.similarity import (
     performance_similarity,
     performance_similarity_matrix,
+    performance_similarity_matrix_ooc,
     text_similarity_matrix,
     update_similarity_matrix,
+    update_similarity_matrix_ooc,
 )
 
 __all__ = [
@@ -69,6 +72,7 @@ __all__ = [
     "FineSelectionConfig",
     "PipelineConfig",
     "RecallConfig",
+    "SimilarityConfig",
     "ConvergenceTrend",
     "ConvergenceTrendMiner",
     "TrendSet",
@@ -90,6 +94,8 @@ __all__ = [
     "SuccessiveHalving",
     "performance_similarity",
     "performance_similarity_matrix",
+    "performance_similarity_matrix_ooc",
     "text_similarity_matrix",
     "update_similarity_matrix",
+    "update_similarity_matrix_ooc",
 ]

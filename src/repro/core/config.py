@@ -6,17 +6,85 @@ LEEP as the coarse-recall proxy with K = 10 recalled models and a 0.5
 epoch-equivalent charge per proxy inference (Table VI), and a fine-tuning
 budget of 5 epochs for NLP / 4 for CV with the Table IV trend-filter
 threshold.  :class:`PipelineConfig.parallel` additionally selects the
-executor backend for the online hot paths (not part of the paper; see
-``docs/parallelism.md``).
+executor backend for the online hot paths, and
+:class:`SimilarityConfig` the offline memory policy (spill-to-disk
+threshold and in-flight budget) — neither is part of the paper; see
+``docs/parallelism.md`` and ``docs/scaling.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.parallel.config import ParallelConfig
 from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimilarityConfig:
+    """Memory policy of the offline similarity/distance computation.
+
+    The Eq. 1 similarity of an ``n``-model repository is a dense ``(n, n)``
+    float64 matrix (``8 n^2`` bytes).  For the paper's repositories
+    (``n <= 40``) that is trivially small, but a checkpoint-hub-scale zoo
+    (thousands of models) cannot hold the matrix — let alone its distance
+    conversion and the clustering working copy — in RAM.  This config
+    decides *where* those matrices live and how much memory the
+    computation may hold in flight at once; the numbers are documented in
+    ``docs/scaling.md``.
+
+    Attributes
+    ----------
+    max_bytes_in_flight:
+        Bound on one broadcast difference slab ``(rows, n, d)`` while
+        streaming Eq. 1 row tiles.  Smaller values lower peak memory at the
+        cost of more Python-loop iterations; results are bitwise-identical
+        for any value.
+    spill_threshold_bytes:
+        Once the dense similarity matrix alone (``8 n^2`` bytes) would
+        reach this size, the offline phase spills it (and the derived
+        distance matrix) to memory-mapped files in the matrix store instead
+        of RAM.  ``0`` forces out-of-core operation for any size (used by
+        the equivalence tests); very large values effectively disable
+        spilling.
+    tile_rows:
+        Rows per out-of-core work tile (one executor task writes one tile).
+        ``None`` derives the largest tile whose broadcast slab fits
+        ``max_bytes_in_flight``.
+    store_dir:
+        Directory of the memory-mapped matrix store.  ``None`` uses the
+        process default (``REPRO_STORE_DIR`` or a per-process temporary
+        directory; see :func:`repro.store.get_store`).
+    parallel:
+        Optional executor spec (``"backend[:workers]"`` or a
+        :class:`~repro.parallel.ParallelConfig`) fanning out-of-core tile
+        computation over :mod:`repro.parallel` workers.  All backends write
+        identical tiles.
+    """
+
+    max_bytes_in_flight: int = 64 * 1024 * 1024
+    spill_threshold_bytes: int = 128 * 1024 * 1024
+    tile_rows: Optional[int] = None
+    store_dir: Optional[str] = None
+    parallel: Optional[Union[str, ParallelConfig]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_bytes_in_flight < 4096:
+            raise ConfigurationError("max_bytes_in_flight must be >= 4096 bytes")
+        if self.spill_threshold_bytes < 0:
+            raise ConfigurationError("spill_threshold_bytes must be >= 0")
+        if self.tile_rows is not None and self.tile_rows < 1:
+            raise ConfigurationError("tile_rows must be >= 1 when given")
+
+    @staticmethod
+    def dense_matrix_bytes(num_models: int) -> int:
+        """Bytes of one dense float64 ``(n, n)`` matrix."""
+        return 8 * num_models * num_models
+
+    def should_spill(self, num_models: int) -> bool:
+        """Whether an ``(n, n)`` similarity matrix goes out-of-core."""
+        return self.dense_matrix_bytes(num_models) >= self.spill_threshold_bytes
 
 
 @dataclass(frozen=True)
@@ -164,6 +232,13 @@ class PipelineConfig:
     the online hot paths (proxy scoring, stage training, batched per-task
     fan-out); the default is serial execution.  All backends return
     identical results — see ``docs/parallelism.md``.
+
+    ``similarity`` sets the offline memory policy: once the dense Eq. 1
+    matrix would cross :attr:`SimilarityConfig.spill_threshold_bytes`, the
+    offline build/refresh runs out-of-core against the memory-mapped
+    matrix store — bitwise-equal to the in-RAM path, with peak memory
+    bounded by :attr:`SimilarityConfig.max_bytes_in_flight`.  See
+    ``docs/scaling.md``.
     """
 
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
@@ -171,6 +246,7 @@ class PipelineConfig:
     fine_selection: FineSelectionConfig = field(default_factory=FineSelectionConfig)
     offline_epochs: Optional[int] = None
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    similarity: SimilarityConfig = field(default_factory=SimilarityConfig)
 
     def __post_init__(self) -> None:
         if self.offline_epochs is not None and self.offline_epochs < 1:

@@ -16,14 +16,30 @@ import numpy as np
 
 from repro.cache import CacheLike, resolve_cache
 from repro.cluster.assignments import ClusterAssignment
-from repro.cluster.distance import distance_matrix_for, similarity_to_distance
+from repro.cluster.distance import (
+    distance_matrix_for,
+    distance_memmap_for,
+    similarity_to_distance,
+    upper_triangle_values,
+)
 from repro.cluster.hierarchical import AgglomerativeClustering
 from repro.cluster.kmeans import KMeans
 from repro.cluster.silhouette import silhouette_score
-from repro.core.config import ClusteringConfig
+from repro.core.config import ClusteringConfig, SimilarityConfig
 from repro.core.performance import PerformanceMatrix
-from repro.core.similarity import similarity_matrix_for
+from repro.core.similarity import (
+    performance_similarity_matrix_ooc,
+    similarity_matrix_for,
+)
+from repro.store import resolve_store
 from repro.utils.exceptions import DataError, SelectionError
+
+#: Silhouette diagnostics are skipped past this repository size: the score
+#: is an ``O(n^2 x clusters)`` reporting extra, not an input of selection,
+#: and at out-of-core scale it would dominate the offline phase.  The cap
+#: applies identically to the in-RAM and out-of-core paths so their
+#: clusterings stay comparable field-for-field.
+SILHOUETTE_MAX_MODELS = 2048
 
 
 @dataclass
@@ -120,7 +136,9 @@ class ModelClusterer:
         *,
         model_cards: Optional[Dict[str, str]] = None,
         similarity: Optional[np.ndarray] = None,
+        distance: Optional[np.ndarray] = None,
         cache: CacheLike = None,
+        similarity_config: Optional[SimilarityConfig] = None,
     ) -> ModelClustering:
         """Cluster the models of ``matrix`` according to the configuration.
 
@@ -128,7 +146,15 @@ class ModelClusterer:
         from the artifact cache when available (``cache=False`` opts out).
         A precomputed ``similarity`` (aligned with ``matrix.model_names``,
         e.g. from an incremental update) skips the similarity computation
-        and the cache entirely.
+        and the cache entirely; ``distance`` optionally supplies its
+        (possibly memmapped) conversion so no caller-side work is repeated.
+
+        When ``similarity_config`` is given and the repository crosses its
+        spill threshold, the similarity and distance matrices are computed
+        **out-of-core**: streamed tile-by-tile into memory-mapped files in
+        the matrix store and clustered without ever densifying — the
+        resulting clustering is bitwise-identical to the in-RAM path (see
+        ``docs/scaling.md``), and ``extras["ooc"]`` records the spill.
 
         The returned clustering records the effective hierarchical merge
         threshold and a zeroed incremental-staleness counter in ``extras``;
@@ -136,8 +162,50 @@ class ModelClusterer:
         """
         if len(matrix.model_names) < 2:
             raise SelectionError("model clustering requires at least two models")
+        work_store = None
+        spilled = False
         if similarity is not None:
-            distance = similarity_to_distance(similarity)
+            spilled = isinstance(similarity, np.memmap)
+            if distance is None:
+                if (
+                    spilled
+                    and similarity_config is not None
+                    and self._is_canonical_spill(similarity, matrix, similarity_config)
+                ):
+                    # Keep a memmapped similarity out-of-core end to end:
+                    # the dense 1 - s conversion would allocate the full
+                    # 8 n^2 bytes the spill exists to avoid.  Guarded to
+                    # the canonical store entry so a *custom* similarity
+                    # can never populate the canonical distance key.
+                    distance = distance_memmap_for(
+                        matrix,
+                        similarity,
+                        top_k=self.config.top_k,
+                        config=similarity_config,
+                    )
+                else:
+                    distance = similarity_to_distance(similarity)
+            if similarity_config is not None and isinstance(distance, np.memmap):
+                work_store = resolve_store(similarity_config.store_dir)
+        elif (
+            similarity_config is not None
+            and self.config.similarity == "performance"
+            and similarity_config.should_spill(len(matrix.model_names))
+        ):
+            similarity = performance_similarity_matrix_ooc(
+                matrix,
+                top_k=self.config.top_k,
+                config=similarity_config,
+                cache=cache,
+            )
+            distance = distance_memmap_for(
+                matrix,
+                similarity,
+                top_k=self.config.top_k,
+                config=similarity_config,
+            )
+            work_store = resolve_store(similarity_config.store_dir)
+            spilled = True
         else:
             similarity = similarity_matrix_for(
                 matrix,
@@ -158,13 +226,15 @@ class ModelClusterer:
                 )
             else:
                 distance = similarity_to_distance(similarity)
-        labels, threshold = self._run_algorithm(distance)
+        labels, threshold = self._run_algorithm(distance, work_store=work_store)
         assignment = ClusterAssignment.from_labels(matrix.model_names, labels)
         representatives = self._elect_representatives(assignment, matrix)
         score = self._safe_silhouette(distance, assignment.labels)
         extras: Dict[str, float] = {"stale_models": 0.0}
         if threshold is not None:
             extras["distance_threshold"] = float(threshold)
+        if spilled:
+            extras["ooc"] = 1.0
         return ModelClustering(
             assignment=assignment,
             similarity=similarity,
@@ -174,8 +244,29 @@ class ModelClusterer:
             extras=extras,
         )
 
+    def _is_canonical_spill(
+        self,
+        similarity: np.memmap,
+        matrix: PerformanceMatrix,
+        similarity_config: SimilarityConfig,
+    ) -> bool:
+        """Whether ``similarity`` is the store's canonical Eq. 1 entry."""
+        from pathlib import Path
+
+        from repro.cache import similarity_key
+
+        store = resolve_store(similarity_config.store_dir)
+        canonical = store.path_for(
+            similarity_key(matrix, method="performance", top_k=self.config.top_k)
+        )
+        filename = getattr(similarity, "filename", None)
+        try:
+            return filename is not None and Path(filename).resolve() == canonical.resolve()
+        except OSError:  # pragma: no cover - unresolvable paths
+            return False
+
     # ------------------------------------------------------------------ #
-    def _run_algorithm(self, distance: np.ndarray):
+    def _run_algorithm(self, distance: np.ndarray, *, work_store=None):
         """Run the configured algorithm; returns ``(labels, merge_threshold)``.
 
         The effective merge threshold (explicit or quantile-derived) is
@@ -189,14 +280,17 @@ class ModelClusterer:
                 # quantile of all pairwise distances.  This yields the
                 # paper-like mix of non-singleton and singleton clusters on
                 # both the NLP and CV repositories without hand tuning.
-                off_diagonal = distance[np.triu_indices_from(distance, k=1)]
+                # (upper_triangle_values streams memmapped matrices and is
+                # value- and order-identical to the triu indexing it
+                # replaced, so the quantile is bitwise-stable.)
+                off_diagonal = upper_triangle_values(distance)
                 threshold = float(np.quantile(off_diagonal, self.config.threshold_quantile))
             algorithm = AgglomerativeClustering(
                 num_clusters=self.config.num_clusters,
                 distance_threshold=threshold,
                 linkage=self.config.linkage,
             )
-            return algorithm.fit_predict(distance), threshold
+            return algorithm.fit_predict(distance, work_store=work_store), threshold
         # k-means operates on vector embeddings; use the rows of the distance
         # matrix as embedding coordinates (classical MDS-free shortcut that
         # preserves the neighbourhood structure well enough for Table I).
@@ -217,6 +311,8 @@ class ModelClusterer:
 
     @staticmethod
     def _safe_silhouette(distance: np.ndarray, labels: np.ndarray) -> Optional[float]:
+        if distance.shape[0] > SILHOUETTE_MAX_MODELS:
+            return None
         unique = set(labels.tolist())
         if len(unique) < 2 or len(unique) >= distance.shape[0]:
             return None

@@ -1,8 +1,12 @@
 """End-to-end two-phase selector.
 
 :class:`OfflineArtifacts` packages everything the online phases need and is
-built once per model repository (the paper's offline phase): the performance
-matrix and the model clustering.  :class:`TwoPhaseSelector` then answers
+built once per model-repository *version* (the paper's offline phase): the
+performance matrix and the model clustering.  Past the
+:class:`~repro.core.config.SimilarityConfig` spill threshold the build runs
+out-of-core — similarity and distance live as memory-mapped files in the
+:mod:`repro.store` matrix store, bitwise-equal to the in-RAM path (see
+``docs/scaling.md``).  :class:`TwoPhaseSelector` then answers
 ``select(target_task)`` queries by running coarse-recall followed by
 fine-selection, returning a :class:`~repro.core.results.TwoPhaseResult` whose
 cost accounting matches the paper's Table VI (proxy inference charged at half
@@ -29,7 +33,7 @@ from repro.cache import (
     resolve_cache,
     similarity_key,
 )
-from repro.cluster.distance import similarity_to_distance
+from repro.cluster.distance import distance_memmap_for, similarity_to_distance
 from repro.cluster.incremental import update_clustering
 from repro.core.batch import (
     BatchedSelectionRunner,
@@ -45,13 +49,38 @@ from repro.core.performance import (
     update_performance_matrix,
 )
 from repro.core.results import TwoPhaseResult
-from repro.core.similarity import update_similarity_matrix
+from repro.core.similarity import (
+    update_similarity_matrix,
+    update_similarity_matrix_ooc,
+)
 from repro.data.tasks import ClassificationTask
 from repro.data.workloads import WorkloadSuite
 from repro.utils.exceptions import ConfigurationError
 from repro.zoo.catalog import ModelCatalogEntry
 from repro.zoo.finetune import FineTuner
 from repro.zoo.hub import ModelHub, ZooVersion
+
+
+def evict_spilled_artifacts(similarity_config, fragment: str) -> int:
+    """Purge spilled (memory-mapped) artifacts matching ``fragment``.
+
+    The matrix-store counterpart of ``ArtifactCache.evict_matching`` in the
+    zoo-refresh invalidation sweep.  Touches only a store that already
+    exists — evicting never *creates* a store directory as a side effect.
+    Readers still holding a purged memmap keep a valid mapping (POSIX
+    unlink semantics); only new opens miss.
+    """
+    from pathlib import Path
+
+    from repro.store import MatrixStore, peek_store
+
+    if similarity_config is not None and similarity_config.store_dir is not None:
+        if not Path(similarity_config.store_dir).is_dir():
+            return 0  # nothing was ever spilled there; don't mkdir it
+        store = MatrixStore(similarity_config.store_dir)
+    else:
+        store = peek_store()
+    return store.evict_matching(fragment) if store is not None else 0
 
 
 @dataclass
@@ -71,7 +100,8 @@ class RefreshResult:
     staleness:
         Stale-model fraction of the new clustering (0.0 after a re-cluster).
     evicted_entries:
-        Cache entries of the superseded version purged from the memory tier.
+        Superseded-version artifacts purged on eviction: in-memory cache
+        entries plus spilled matrix-store files.
     """
 
     artifacts: "OfflineArtifacts"
@@ -134,7 +164,10 @@ class OfflineArtifacts:
         )
         clusterer = ModelClusterer(config.clustering)
         clustering = clusterer.cluster(
-            matrix, model_cards=hub.model_cards(), cache=cache
+            matrix,
+            model_cards=hub.model_cards(),
+            cache=cache,
+            similarity_config=getattr(config, "similarity", None),
         )
         return cls(
             hub=hub,
@@ -197,29 +230,56 @@ class OfflineArtifacts:
         removed_names = [name for name in self.hub.model_names if name not in new_names]
 
         clustering_config = self.config.clustering
+        similarity_config = getattr(self.config, "similarity", None)
         if clustering_config.similarity == "performance":
-            new_similarity = update_similarity_matrix(
-                self.matrix,
-                self.clustering.similarity,
-                new_matrix,
-                top_k=clustering_config.top_k,
-                cache=cache,
+            spill = similarity_config is not None and similarity_config.should_spill(
+                len(new_hub.model_names)
             )
-            new_distance = similarity_to_distance(new_similarity)
+            if spill:
+                # Out-of-core refresh: surviving tiles are copied and added
+                # rows computed straight into the memory-mapped store under
+                # the new epoch's canonical keys — still bitwise-equal to
+                # the from-scratch oracle.
+                new_similarity = update_similarity_matrix_ooc(
+                    self.matrix,
+                    self.clustering.similarity,
+                    new_matrix,
+                    top_k=clustering_config.top_k,
+                    config=similarity_config,
+                    cache=cache,
+                )
+                new_distance = distance_memmap_for(
+                    new_matrix,
+                    new_similarity,
+                    top_k=clustering_config.top_k,
+                    config=similarity_config,
+                )
+            else:
+                new_similarity = update_similarity_matrix(
+                    self.matrix,
+                    self.clustering.similarity,
+                    new_matrix,
+                    top_k=clustering_config.top_k,
+                    cache=cache,
+                )
+                new_distance = similarity_to_distance(new_similarity)
             update = update_clustering(
                 self.clustering,
                 new_matrix,
                 new_similarity,
                 config=clustering_config,
                 distance=new_distance,
+                similarity_config=similarity_config,
             )
             new_clustering = update.clustering
             reclustered, staleness = update.reclustered, update.staleness
             store = resolve_cache(cache)
-            if store is not None:
+            if store is not None and not spill:
                 # Warm the distance entry under its canonical key too, so a
                 # later cache-backed clustering of the new matrix resolves
-                # with lookups only.
+                # with lookups only.  (Spilled matrices already live in the
+                # matrix store under that key; copying them into the LRU
+                # would defeat the memory budget.)
                 sim_key = similarity_key(
                     new_matrix, method="performance", top_k=clustering_config.top_k
                 )
@@ -235,9 +295,13 @@ class OfflineArtifacts:
             reclustered, staleness = True, 0.0
 
         evicted = 0
-        store = resolve_cache(cache)
-        if store is not None and evict_superseded:
-            evicted = store.evict_matching(fingerprint_matrix(self.matrix))
+        if evict_superseded:
+            store = resolve_cache(cache)
+            if store is not None:
+                evicted = store.evict_matching(fingerprint_matrix(self.matrix))
+            evicted += evict_spilled_artifacts(
+                similarity_config, fingerprint_matrix(self.matrix)
+            )
 
         artifacts = OfflineArtifacts(
             hub=new_hub,

@@ -17,6 +17,14 @@ computation falls back to row *chunks* that bound peak memory (see
 :func:`similarity_chunk_rows`).  Results are additionally memoised in the
 process-wide :mod:`repro.cache` keyed on the performance matrix's content
 fingerprint, so repeated experiment runs reuse the work.
+
+Past checkpoint-hub scale the dense ``(n, n)`` result itself stops fitting
+in RAM; :func:`performance_similarity_matrix_ooc` (and its incremental
+sibling :func:`update_similarity_matrix_ooc`) stream the same Eq. 1 tiles
+through the same kernel but write them to a memory-mapped file in the
+:mod:`repro.store` matrix store — bitwise-identical output, peak memory
+bounded by :class:`~repro.core.config.SimilarityConfig.max_bytes_in_flight`.
+See ``docs/scaling.md``.
 """
 
 from __future__ import annotations
@@ -31,7 +39,10 @@ from repro.cache import (
     similarity_key,
     text_similarity_key,
 )
+from repro.core.config import SimilarityConfig
 from repro.core.performance import PerformanceMatrix
+from repro.parallel.executor import get_executor
+from repro.store import StoreLike, iter_row_blocks, resolve_store
 from repro.text.embedding import TextEmbedder
 from repro.utils.exceptions import ConfigurationError, DataError
 
@@ -225,6 +236,66 @@ def performance_similarity_matrix(
     return similarity
 
 
+def _validate_incremental_update(
+    old_matrix: PerformanceMatrix,
+    old_similarity: np.ndarray,
+    new_matrix: PerformanceMatrix,
+    *,
+    top_k: int,
+):
+    """Shared preconditions of the incremental update paths.
+
+    Returns ``(old_similarity, kept_new, kept_old, added_new)`` — the
+    validated previous similarity plus the index bookkeeping both the
+    in-RAM and the out-of-core incremental writers consume.
+    """
+    if top_k < 1:
+        raise ConfigurationError("top_k must be >= 1")
+    old_names = old_matrix.model_names
+    old_similarity = np.asarray(old_similarity, dtype=float)
+    if old_similarity.shape != (len(old_names), len(old_names)):
+        raise DataError(
+            f"old_similarity shape {old_similarity.shape} does not match the "
+            f"{len(old_names)} models of old_matrix"
+        )
+    if list(old_matrix.dataset_names) != list(new_matrix.dataset_names):
+        raise DataError(
+            "incremental similarity updates require unchanged benchmark "
+            "datasets; rebuild from scratch instead"
+        )
+    old_index = {name: i for i, name in enumerate(old_names)}
+    new_names = new_matrix.model_names
+    kept_new = [j for j, name in enumerate(new_names) if name in old_index]
+    kept_old = [old_index[new_names[j]] for j in kept_new]
+    added_new = [j for j, name in enumerate(new_names) if name not in old_index]
+    if kept_new and not np.array_equal(
+        new_matrix.values[:, kept_new], old_matrix.values[:, kept_old]
+    ):
+        raise DataError(
+            "surviving models' accuracy columns changed; the cached "
+            "similarity rows are stale — rebuild from scratch instead"
+        )
+    if len(kept_new) >= 2 and old_matrix.values.shape[0] > 0:
+        # Spot-check that old_similarity really was computed with this
+        # top_k: recompute one surviving pair through the shared kernel
+        # (bitwise-deterministic per lane) and compare.  Without this, a
+        # mismatched top_k would silently mix regimes and poison the cache
+        # under the new matrix's canonical key.
+        probe_vectors = np.ascontiguousarray(
+            old_matrix.values[:, [kept_old[0], kept_old[1]]].T, dtype=float
+        )
+        probe_k = min(top_k, probe_vectors.shape[1])
+        probe = np.empty((1, 1))
+        _similarity_into(probe, probe_vectors[:1], probe_vectors[1:], probe_k, 1)
+        if probe[0, 0] != old_similarity[kept_old[0], kept_old[1]]:
+            raise DataError(
+                "old_similarity does not match old_matrix under this top_k; "
+                "it was computed with different settings — rebuild from "
+                "scratch instead"
+            )
+    return old_similarity, kept_new, kept_old, added_new
+
+
 def update_similarity_matrix(
     old_matrix: PerformanceMatrix,
     old_similarity: np.ndarray,
@@ -275,52 +346,11 @@ def update_similarity_matrix(
            [0.5 , 1.  , 0.75],
            [0.25, 0.75, 1.  ]])
     """
-    if top_k < 1:
-        raise ConfigurationError("top_k must be >= 1")
     if chunk_rows is not None and chunk_rows < 1:
         raise ConfigurationError("chunk_rows must be >= 1")
-    old_names = old_matrix.model_names
-    old_similarity = np.asarray(old_similarity, dtype=float)
-    if old_similarity.shape != (len(old_names), len(old_names)):
-        raise DataError(
-            f"old_similarity shape {old_similarity.shape} does not match the "
-            f"{len(old_names)} models of old_matrix"
-        )
-    if list(old_matrix.dataset_names) != list(new_matrix.dataset_names):
-        raise DataError(
-            "incremental similarity updates require unchanged benchmark "
-            "datasets; rebuild from scratch instead"
-        )
-    old_index = {name: i for i, name in enumerate(old_names)}
-    new_names = new_matrix.model_names
-    kept_new = [j for j, name in enumerate(new_names) if name in old_index]
-    kept_old = [old_index[new_names[j]] for j in kept_new]
-    added_new = [j for j, name in enumerate(new_names) if name not in old_index]
-    if kept_new and not np.array_equal(
-        new_matrix.values[:, kept_new], old_matrix.values[:, kept_old]
-    ):
-        raise DataError(
-            "surviving models' accuracy columns changed; the cached "
-            "similarity rows are stale — rebuild from scratch instead"
-        )
-    if len(kept_new) >= 2 and old_matrix.values.shape[0] > 0:
-        # Spot-check that old_similarity really was computed with this
-        # top_k: recompute one surviving pair through the shared kernel
-        # (bitwise-deterministic per lane) and compare.  Without this, a
-        # mismatched top_k would silently mix regimes and poison the cache
-        # under the new matrix's canonical key.
-        probe_vectors = np.ascontiguousarray(
-            old_matrix.values[:, [kept_old[0], kept_old[1]]].T, dtype=float
-        )
-        probe_k = min(top_k, probe_vectors.shape[1])
-        probe = np.empty((1, 1))
-        _similarity_into(probe, probe_vectors[:1], probe_vectors[1:], probe_k, 1)
-        if probe[0, 0] != old_similarity[kept_old[0], kept_old[1]]:
-            raise DataError(
-                "old_similarity does not match old_matrix under this top_k; "
-                "it was computed with different settings — rebuild from "
-                "scratch instead"
-            )
+    old_similarity, kept_new, kept_old, added_new = _validate_incremental_update(
+        old_matrix, old_similarity, new_matrix, top_k=top_k
+    )
 
     store = resolve_cache(cache)
     key = similarity_key(new_matrix, method="performance", top_k=top_k) if store else None
@@ -366,6 +396,216 @@ def update_similarity_matrix(
     if store is not None:
         store.put(key, similarity)
     return similarity
+
+
+# --------------------------------------------------------------------------- #
+# Out-of-core Eq. 1 matrix (memory-mapped, shard-addressable)
+# --------------------------------------------------------------------------- #
+def _write_trivial_similarity(writer, n: int) -> np.ndarray:
+    """Commit the degenerate ``n <= 1`` / ``d == 0`` all-ones similarity."""
+    if n:
+        writer.array[:] = 1.0
+    return writer.commit()
+
+
+def _publish_dense(matrix_store, key: str, value: np.ndarray) -> np.ndarray:
+    """Write an already-computed dense matrix into the store (write-through).
+
+    Used when the in-memory cache holds the artifact under the same key:
+    out-of-core callers still get a memory-mapped result — the backing of
+    a spilled build must not depend on what some earlier dense run left in
+    the LRU — without recomputing anything.
+    """
+    writer = matrix_store.create(key, value.shape)
+    try:
+        writer.array[:] = value
+        return writer.commit()
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def _fill_similarity_tile(
+    out: np.ndarray, vectors: np.ndarray, start: int, stop: int, k: int, rows: int
+) -> None:
+    """Compute one ``(stop - start, n)`` Eq. 1 row tile into ``out``.
+
+    ``out`` is the tile's slice of the destination (typically a writable
+    memmap); the unit diagonal is set in place, so tiles are final once
+    written.  Identical to the in-RAM path entry-for-entry: both stream the
+    same ``(rows, n, d)`` slabs through :func:`_similarity_into`, and every
+    Eq. 1 lane is independent of its block mates.
+    """
+    _similarity_into(out, vectors[start:stop], vectors, k, rows)
+    local = np.arange(stop - start)
+    out[local, local + start] = 1.0
+
+
+def performance_similarity_matrix_ooc(
+    matrix: PerformanceMatrix,
+    *,
+    top_k: int = 5,
+    config: Optional[SimilarityConfig] = None,
+    cache: CacheLike = None,
+    store: StoreLike = None,
+    parallel=None,
+) -> np.ndarray:
+    """Eq. 1 similarity computed out-of-core into a memory-mapped store.
+
+    The result is **bitwise-identical** to
+    :func:`performance_similarity_matrix` — same kernel, same per-lane
+    independence — but lives in a read-only :class:`numpy.memmap` inside the
+    matrix store instead of RAM: peak memory is bounded by
+    ``config.max_bytes_in_flight`` (one broadcast slab) plus one row tile,
+    regardless of ``n``.  The file is addressed by the *same* content-hash
+    key the in-RAM cache uses, so repeated builds of the same repository
+    reuse the spilled artifact, and the zoo-refresh eviction sweep purges it
+    together with the in-memory entries.
+
+    Row tiles are independent, so they can be fanned out over a
+    :mod:`repro.parallel` executor (``parallel`` or ``config.parallel``);
+    every backend writes identical bytes.
+
+    Parameters
+    ----------
+    matrix:
+        Offline performance matrix (models x benchmark datasets).
+    top_k:
+        Eq. 1 parameter (paper: k = 5).
+    config:
+        Memory policy; defaults to :class:`SimilarityConfig` defaults.
+    cache:
+        In-memory artifact cache consulted on a store miss: a dense entry
+        under the shared key is written through to the store (no
+        recompute) so the result is memmapped either way.  The out-of-core
+        result is deliberately **not** copied into the in-memory cache.
+    store:
+        Matrix store override; defaults to ``config.store_dir`` or the
+        process default store.
+    parallel:
+        Executor (or spec) for parallel tile workers; overrides
+        ``config.parallel``.
+    """
+    if top_k < 1:
+        raise ConfigurationError("top_k must be >= 1")
+    config = config or SimilarityConfig()
+    key = similarity_key(matrix, method="performance", top_k=top_k)
+    matrix_store = resolve_store(store if store is not None else config.store_dir)
+    n = len(matrix.model_names)
+    existing = matrix_store.open(key)
+    if existing is not None and existing.shape == (n, n):
+        return existing
+    memory = resolve_cache(cache)
+    if memory is not None:
+        cached = memory.get(key)
+        if cached is not None:
+            # A dense run already computed this artifact; spill it instead
+            # of recomputing so the result is memmapped either way.
+            return _publish_dense(matrix_store, key, cached)
+
+    vectors = np.ascontiguousarray(matrix.values.T, dtype=float)
+    d = vectors.shape[1]
+    if n > 1 and d == 0:
+        raise DataError("performance vectors must be non-empty")
+    writer = matrix_store.create(key, (n, n))
+    try:
+        if n <= 1 or d == 0:
+            return _write_trivial_similarity(writer, n)
+        k = min(top_k, d)
+        executor = get_executor(parallel if parallel is not None else config.parallel)
+        # The in-flight budget bounds the *total* transient slab memory:
+        # concurrent tile workers each allocate their own (rows, n, d)
+        # buffer, so the per-worker share shrinks with the worker count.
+        workers = max(1, executor.resolved_workers())
+        slab_budget = max(4096, config.max_bytes_in_flight // workers)
+        rows = _rows_per_block(n, d, budget_bytes=slab_budget)
+        tile_rows = config.tile_rows or max(rows, 1)
+        spans = list(iter_row_blocks(n, tile_rows))
+        out = writer.array
+
+        def _fill(span) -> None:
+            start, stop = span
+            _fill_similarity_tile(out[start:stop], vectors, start, stop, k, rows)
+
+        executor.map(_fill, spans)
+        return writer.commit()
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def update_similarity_matrix_ooc(
+    old_matrix: PerformanceMatrix,
+    old_similarity: np.ndarray,
+    new_matrix: PerformanceMatrix,
+    *,
+    top_k: int = 5,
+    config: Optional[SimilarityConfig] = None,
+    cache: CacheLike = None,
+    store: StoreLike = None,
+) -> np.ndarray:
+    """Incremental Eq. 1 update written out-of-core (memmapped result).
+
+    The out-of-core sibling of :func:`update_similarity_matrix`: surviving
+    pairs are copied row-block by row-block from ``old_similarity`` (which
+    may itself be a memmap — reads stream through it), only ``added x all``
+    tiles are recomputed, and the result is published in the matrix store
+    under the same canonical key a cold rebuild of ``new_matrix`` would
+    use.  Bitwise-identical to both the in-RAM incremental path and the
+    from-scratch oracle; peak memory is bounded by
+    ``config.max_bytes_in_flight`` regardless of repository size.
+    """
+    config = config or SimilarityConfig()
+    old_similarity, kept_new, kept_old, added_new = _validate_incremental_update(
+        old_matrix, old_similarity, new_matrix, top_k=top_k
+    )
+    key = similarity_key(new_matrix, method="performance", top_k=top_k)
+    matrix_store = resolve_store(store if store is not None else config.store_dir)
+    n = len(new_matrix.model_names)
+    existing = matrix_store.open(key)
+    if existing is not None and existing.shape == (n, n):
+        return existing
+    memory = resolve_cache(cache)
+    if memory is not None:
+        cached = memory.get(key)
+        if cached is not None:
+            return _publish_dense(matrix_store, key, cached)
+
+    vectors = np.ascontiguousarray(new_matrix.values.T, dtype=float)
+    d = vectors.shape[1]
+    if n > 1 and d == 0:
+        raise DataError("performance vectors must be non-empty")
+    writer = matrix_store.create(key, (n, n))
+    try:
+        if n <= 1 or d == 0:
+            return _write_trivial_similarity(writer, n)
+        k = min(top_k, d)
+        out = writer.array
+        kept_new_arr = np.asarray(kept_new, dtype=int)
+        kept_old_arr = np.asarray(kept_old, dtype=int)
+        copy_rows = max(1, config.max_bytes_in_flight // max(1, n * 8))
+        for start, stop in iter_row_blocks(len(kept_new), copy_rows):
+            out[np.ix_(kept_new_arr[start:stop], kept_new_arr)] = old_similarity[
+                np.ix_(kept_old_arr[start:stop], kept_old_arr)
+            ]
+        rows = _rows_per_block(n, d, budget_bytes=config.max_bytes_in_flight)
+        tile_rows = config.tile_rows or max(rows, 1)
+        for start, stop in iter_row_blocks(len(added_new), tile_rows):
+            added_idx = np.asarray(added_new[start:stop], dtype=int)
+            added_vectors = np.ascontiguousarray(vectors[added_idx])
+            block = np.empty((added_idx.size, n))
+            _similarity_into(block, added_vectors, vectors, k, rows)
+            out[added_idx, :] = block
+            if kept_new:
+                # Mirror columns of the freshly computed rows — exact, as
+                # in the in-RAM incremental path (IEEE |a - b| symmetry).
+                out[np.ix_(kept_new_arr, added_idx)] = block[:, kept_new_arr].T
+        diagonal = np.arange(n)
+        out[diagonal, diagonal] = 1.0
+        return writer.commit()
+    except BaseException:
+        writer.abort()
+        raise
 
 
 def _performance_similarity_matrix_loop(

@@ -1,8 +1,8 @@
 """Long-lived selection service: one offline phase, many online answers.
 
 The paper splits the framework into an *offline* phase (performance matrix +
-model clustering, once per repository) and cheap *online* phases (coarse
-recall + fine selection, once per query).  :class:`SelectionService` is the
+model clustering, once per repository version) and cheap *online* phases
+(coarse recall + fine selection, once per query).  :class:`SelectionService` is the
 deployment shape of that split: it builds — or receives — warm
 :class:`~repro.core.pipeline.OfflineArtifacts` once, then answers any number
 of ``select`` / ``select_many`` / ``recall`` requests against them, fanning
@@ -202,9 +202,11 @@ class SelectionService:
         guarantee breaks.
         """
         from repro.cache import fingerprint_matrix, resolve_cache
+        from repro.core.pipeline import evict_spilled_artifacts
 
         with self._refresh_lock:
             old_matrix = self.artifacts.matrix
+            old_config = self.artifacts.config
             result = self.artifacts.refresh(
                 added=added, removed=removed, evict_superseded=False
             )
@@ -223,6 +225,9 @@ class SelectionService:
                 result.evicted_entries = store.evict_matching(
                     fingerprint_matrix(old_matrix)
                 )
+            result.evicted_entries += evict_spilled_artifacts(
+                getattr(old_config, "similarity", None), fingerprint_matrix(old_matrix)
+            )
         return result
 
     # ------------------------------------------------------------------ #
@@ -243,9 +248,13 @@ class SelectionService:
 
         Keys: ``requests``, ``targets_served``, ``total_epoch_cost``,
         ``uptime_seconds``, ``num_models``, ``zoo_version``, ``refreshes``,
-        ``parallel`` and ``cache`` (the per-tier hit/miss report of the
-        process cache).
+        ``parallel``, ``similarity_backing`` (``"memmap"`` when the served
+        similarity matrix is an out-of-core spill the service reads row
+        tiles from on demand, ``"memory"`` otherwise) and ``cache`` (the
+        per-tier hit/miss report of the process cache).
         """
+        import numpy as np
+
         with self._lock:
             snapshot = {
                 "requests": self._requests,
@@ -259,5 +268,10 @@ class SelectionService:
         version = artifacts.version
         snapshot["zoo_version"] = version.key if version is not None else None
         snapshot["parallel"] = self.parallel_spec
+        snapshot["similarity_backing"] = (
+            "memmap"
+            if isinstance(artifacts.clustering.similarity, np.memmap)
+            else "memory"
+        )
         snapshot["cache"] = cache_stats()
         return snapshot

@@ -199,3 +199,67 @@ class TestEviction:
         assert cache.get("sim:def456") is not None
         assert cache.evict("sim:def456") is True
         assert cache.get("sim:def456") is None
+
+
+class TestDiskTierEdgeCases:
+    """Edge cases of the persistent tier under memmapped readers and damage."""
+
+    def test_get_mmap_mode_returns_memmap(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        payload = np.arange(6.0).reshape(2, 3)
+        cache.put("sim:k=5:abc", payload)
+        mapped = cache.get("sim:k=5:abc", mmap_mode="r")
+        assert isinstance(mapped, np.memmap)
+        assert np.array_equal(mapped, payload)
+        # Default reads stay plain in-RAM arrays.
+        assert not isinstance(cache.get("sim:k=5:abc"), np.memmap)
+
+    def test_evict_while_reader_holds_memmap(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("sim:k=5:abc", np.full((4, 4), 2.5))
+        reader = cache.get("sim:k=5:abc", mmap_mode="r")
+        assert cache.evict("sim:k=5:abc") is True
+        # POSIX unlink: the live mapping still reads the old bytes ...
+        assert float(reader[3, 3]) == 2.5
+        assert float(reader.sum()) == 40.0
+        # ... while new lookups are misses until the entry is re-put.
+        assert cache.get("sim:k=5:abc") is None
+        cache.put("sim:k=5:abc", np.zeros((4, 4)))
+        assert float(cache.get("sim:k=5:abc").sum()) == 0.0
+
+    def test_evict_matching_while_reader_holds_memmap(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("sim:k=5:abc123", np.ones(8))
+        reader = cache.get("sim:k=5:abc123", mmap_mode="r")
+        assert cache.evict_matching("abc123") == 1
+        assert float(reader.sum()) == 8.0
+        assert cache.get("sim:k=5:abc123") is None
+
+    def test_evict_matching_on_empty_disk_tier(self, tmp_path):
+        cache = DiskCache(tmp_path / "never-written")
+        assert cache.evict_matching("anything") == 0
+        assert cache.stats.evictions == 0
+        # Same through the facade with an empty disk directory.
+        facade = ArtifactCache(max_entries=4, disk_dir=tmp_path / "empty")
+        assert facade.evict_matching("anything") == 0
+
+    def test_corrupted_file_recovery_on_get(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("sim:k=5:abc", np.ones(3))
+        misses_before = cache.stats.misses
+        path = next(tmp_path.glob("*.npy"))
+        path.write_bytes(b"\x93NUMPY corrupted beyond repair")
+        # The damaged entry reads as a miss (recorded), not an exception ...
+        assert cache.get("sim:k=5:abc") is None
+        assert cache.stats.misses == misses_before + 1
+        # ... and the standard recompute-and-put cycle heals the slot.
+        cache.put("sim:k=5:abc", np.full(3, 7.0))
+        assert np.array_equal(cache.get("sim:k=5:abc"), np.full(3, 7.0))
+
+    def test_corrupted_json_recovery_on_get(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("proxy:x", 0.5)
+        next(tmp_path.glob("*.json")).write_text("{not json")
+        assert cache.get("proxy:x") is None
+        cache.put("proxy:x", 0.25)
+        assert cache.get("proxy:x") == 0.25

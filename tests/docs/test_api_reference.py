@@ -1,0 +1,91 @@
+"""Checks keeping the generated API reference and docstrings honest.
+
+Run as part of ``make docs-check`` (and the full CI tier): the committed
+``docs/api/`` pages must match what ``tools/gen_api_docs.py`` renders from
+the current code, and every public symbol must actually carry the
+docstring the reference is generated from.
+"""
+
+import importlib.util
+import inspect
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", REPO_ROOT / "tools" / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("gen_api_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_generated_api_reference_is_current(generator):
+    """docs/api must equal a fresh render (the `make docs-api-check` gate)."""
+    pages = generator.render_all()
+    problems = []
+    api_dir = REPO_ROOT / "docs" / "api"
+    for name, content in pages.items():
+        path = api_dir / name
+        if not path.exists():
+            problems.append(f"missing docs/api/{name}")
+        elif path.read_text(encoding="utf-8") != content:
+            problems.append(f"stale docs/api/{name}")
+    for path in api_dir.glob("*.md"):
+        if path.name not in pages:
+            problems.append(f"unexpected docs/api/{path.name}")
+    assert not problems, (
+        "; ".join(problems) + " — run `make docs-api` and commit the result"
+    )
+
+
+def test_every_top_level_export_has_a_docstring():
+    """Every symbol exported from repro/__init__.py documents itself."""
+    import repro
+
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if not (inspect.isclass(obj) or callable(obj)):
+            continue  # plain constants (e.g. __version__) carry no docstring
+        doc = inspect.getdoc(obj)
+        if not doc or not doc.strip():
+            undocumented.append(name)
+    assert not undocumented, f"exports without docstrings: {undocumented}"
+
+
+def test_every_documented_module_has_a_docstring(generator):
+    """Each module the reference renders must open with a module docstring."""
+    import importlib
+
+    missing = []
+    for package_name, _ in generator.DOCUMENTED:
+        package = importlib.import_module(package_name)
+        for module_name in generator._submodules(package):
+            module = importlib.import_module(module_name)
+            if not (module.__doc__ or "").strip():
+                missing.append(module_name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_package_exports_have_docstrings(generator):
+    """Every `__all__` symbol of the documented packages is documented."""
+    import importlib
+
+    undocumented = []
+    for package_name, _ in generator.DOCUMENTED:
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name, None)
+            if obj is None or not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if not (inspect.getdoc(obj) or "").strip():
+                undocumented.append(f"{package_name}.{name}")
+    assert not undocumented, f"exports without docstrings: {undocumented}"

@@ -128,6 +128,34 @@ class TestZooCommand:
         code = main(["zoo", "remove", "--models", "nope", *COMMON], stream=stream)
         assert code == 2
 
+    def test_zoo_build_dense_reports_memory_backing(self):
+        out = run_cli("zoo", "build", *COMMON)
+        assert "offline build : 8 nlp models" in out
+        assert "(memory)" in out
+
+    def test_zoo_build_ooc_spills_to_store(self, tmp_path):
+        out = run_cli(
+            "zoo", "build", "--ooc", "--max-memory", "16",
+            "--store-dir", str(tmp_path / "store"), *COMMON,
+        )
+        assert "(memmap)" in out
+        assert str(tmp_path / "store") in out
+        assert "memory budget : 17 MB in flight" in out
+        assert list((tmp_path / "store").glob("*.npy"))
+
+    def test_zoo_build_json_matches_dense_and_ooc(self, tmp_path):
+        dense = json.loads(run_cli("zoo", "build", "--json", *COMMON))
+        spilled = json.loads(run_cli(
+            "zoo", "build", "--json", "--ooc",
+            "--store-dir", str(tmp_path / "store"), *COMMON,
+        ))
+        assert dense["similarity_backing"] == "memory"
+        assert spilled["similarity_backing"] == "memmap"
+        assert "store_path" in spilled and "store_path" not in dense
+        # Same offline phase either way.
+        assert dense["num_clusters"] == spilled["num_clusters"]
+        assert dense["num_models"] == spilled["num_models"] == 8
+
 
 class TestExperimentsCommand:
     def test_single_experiment_runs(self, monkeypatch, tmp_path):
