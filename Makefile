@@ -4,7 +4,7 @@ PY := PYTHONPATH=src python
 
 .PHONY: test test-fast test-all ci ci-full docs-check docs-api docs-api-check \
         bench-parallel bench-incremental bench-similarity bench-ooc bench-smoke \
-        examples
+        bench-concurrent bench-concurrent-smoke examples
 
 # Tier-1 verify: the full suite (what CI runs on main).
 test:
@@ -20,9 +20,11 @@ test-all:
 	$(PY) -m pytest -q
 
 # CI entry points: `ci` on every change, `ci-full` on main.  The fast path
-# also smoke-runs the out-of-core kernels (equivalence gate at tiny n) and
-# verifies the generated API reference is current.
-ci: test-fast bench-smoke docs-api-check
+# also smoke-runs the out-of-core kernels (equivalence gate at tiny n), the
+# concurrent-selection scheduler (serial==scheduled equivalence plus a
+# relaxed throughput gate at small n) and verifies the generated API
+# reference is current.
+ci: test-fast bench-smoke bench-concurrent-smoke docs-api-check
 
 ci-full: test-all docs-check
 
@@ -55,6 +57,16 @@ bench-ooc:
 
 bench-smoke:
 	$(PY) benchmarks/bench_ooc_scaling.py --smoke
+
+# Concurrent selection under the epoch scheduler: the full run gates >= 2x
+# aggregate throughput at 8 overlapping requests (bitwise-identical
+# results); the smoke tier runs the same equivalence gate at small n on
+# every change.
+bench-concurrent:
+	$(PY) benchmarks/bench_concurrent_selection.py --json-out benchmarks/bench_concurrent_selection.json
+
+bench-concurrent-smoke:
+	$(PY) benchmarks/bench_concurrent_selection.py --smoke
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

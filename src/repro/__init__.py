@@ -17,6 +17,9 @@ zoo:
   of the paper's evaluation section,
 * :mod:`repro.parallel` — executor backends (serial/thread/process) the
   online hot paths fan out over,
+* :mod:`repro.sched` — the epoch-granular scheduler multiplexing concurrent
+  selection requests over a shared training budget with pooled
+  fine-tuning sessions (see ``docs/serving.md``),
 * :mod:`repro.store` — memory-mapped matrix store backing the out-of-core
   offline phase once zoos outgrow RAM (see ``docs/scaling.md``),
 * :mod:`repro.service` — the long-lived :class:`~repro.service.SelectionService`
@@ -53,6 +56,7 @@ from repro.core import (
 )
 from repro.data import DataScale, WorkloadSuite, cv_suite, nlp_suite
 from repro.parallel import ParallelConfig
+from repro.sched import EpochScheduler, SchedulerConfig, SessionPool
 from repro.service import SelectionService
 from repro.store import MatrixStore
 from repro.zoo import FineTuner, ModelHub

@@ -50,6 +50,7 @@ from repro.cache.keys import (
     fingerprint_task,
     fingerprint_text,
     proxy_score_key,
+    session_key,
     similarity_key,
     text_similarity_key,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "get_cache",
     "proxy_score_key",
     "resolve_cache",
+    "session_key",
     "similarity_key",
     "text_similarity_key",
 ]

@@ -1,10 +1,12 @@
 """Command-line front-end: drive the selection system without writing Python.
 
-Five subcommands, all on top of :class:`repro.service.SelectionService` and
+Six subcommands, all on top of :class:`repro.service.SelectionService` and
 the experiment runner (see ``docs/cli.md``)::
 
     python -m repro select       # one target: coarse recall + fine selection
     python -m repro batch        # many targets off one shared clustering
+    python -m repro serve        # long-lived JSON front-end over the epoch
+                                 # scheduler (stdin/stdout, or TCP via --port)
     python -m repro zoo          # add/remove/refresh checkpoints incrementally,
                                  # or `zoo build [--ooc --max-memory MB]` to run
                                  # the (optionally out-of-core) offline phase
@@ -14,7 +16,11 @@ the experiment runner (see ``docs/cli.md``)::
 Every command accepts ``--scale small`` for fast smoke runs and
 ``--parallel backend[:workers]`` (or the ``REPRO_PARALLEL`` environment
 variable) to pick an executor; ``select``, ``batch`` and ``zoo`` can emit
-JSON for scripting with ``--json``.
+JSON for scripting with ``--json``.  ``select`` and ``batch`` accept
+``--timeout``/``--max-queue`` to route through the epoch scheduler with a
+deadline and bounded admission; on budget exhaustion they emit a
+structured JSON error object and exit with the distinct code 3
+(:data:`repro.serving.EXIT_SCHEDULER`) instead of blocking forever.
 """
 
 from __future__ import annotations
@@ -23,11 +29,12 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.results import TwoPhaseResult
 from repro.parallel.config import BACKENDS, ParallelConfig
-from repro.utils.exceptions import ReproError
+from repro.serving import EXIT_SCHEDULER, error_payload, result_payload
+from repro.utils.exceptions import ReproError, SchedulerError
 
 
 # --------------------------------------------------------------------------- #
@@ -71,6 +78,43 @@ def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
     return ParallelConfig.from_env()
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for strictly positive integer flags."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for strictly positive float flags (seconds)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _scheduler_config(args: argparse.Namespace):
+    """SchedulerConfig from the command's scheduling flags (if any)."""
+    from repro.sched.config import SchedulerConfig
+
+    defaults = SchedulerConfig()
+    return SchedulerConfig(
+        policy=getattr(args, "policy", None) or defaults.policy,
+        max_concurrent=getattr(args, "max_concurrent", None)
+        or defaults.max_concurrent,
+        epoch_budget=getattr(args, "epoch_budget", None) or defaults.epoch_budget,
+        max_queue=getattr(args, "max_queue", None) or defaults.max_queue,
+        timeout_seconds=getattr(args, "timeout", None),
+    )
+
+
 def _build_service(args: argparse.Namespace):
     from repro.service import SelectionService
 
@@ -80,6 +124,7 @@ def _build_service(args: argparse.Namespace):
         seed=args.seed,
         num_models=args.num_models,
         parallel=_parallel_config(args),
+        scheduler=_scheduler_config(args),
     )
 
 
@@ -96,17 +141,15 @@ def _build_hub(args: argparse.Namespace):
     return suite, hub
 
 
-def _result_payload(result: TwoPhaseResult) -> Dict[str, object]:
-    """JSON-friendly view of one two-phase result."""
-    return {
-        "target": result.target_name,
-        "selected_model": result.selected_model,
-        "selected_accuracy": result.selected_accuracy,
-        "total_cost": result.total_cost,
-        "runtime_epochs": result.selection.runtime_epochs,
-        "recall_epoch_cost": result.recall.epoch_cost,
-        "recalled_models": list(result.recall.recalled_models),
-    }
+# JSON payload helpers are shared with the serve front-end.
+_result_payload = result_payload
+
+
+def _scheduler_failure(error: Exception, stream) -> int:
+    """Report a scheduler admission/budget failure: JSON object + exit 3."""
+    json.dump(error_payload(error), stream, indent=2)
+    print(file=stream)
+    return EXIT_SCHEDULER
 
 
 def _print_result(result: TwoPhaseResult, *, stream) -> None:
@@ -135,7 +178,19 @@ def _print_result(result: TwoPhaseResult, *, stream) -> None:
 def _cmd_select(args: argparse.Namespace, stream) -> int:
     service = _build_service(args)
     started = time.perf_counter()
-    result = service.select(args.target, top_k=args.top_k)
+    if args.timeout is not None or args.max_queue is not None:
+        # Scheduled path: admission control + deadline.  The result is
+        # bitwise-identical to the blocking path; only failure modes
+        # (queue full, deadline missed) differ — those exit with the
+        # distinct scheduler code instead of blocking forever.
+        try:
+            handle = service.submit(args.target, top_k=args.top_k,
+                                    timeout=args.timeout)
+            result = service.result(handle)
+        except SchedulerError as error:
+            return _scheduler_failure(error, stream)
+    else:
+        result = service.select(args.target, top_k=args.top_k)
     elapsed = time.perf_counter() - started
     if args.json:
         payload = _result_payload(result)
@@ -153,7 +208,21 @@ def _cmd_batch(args: argparse.Namespace, stream) -> int:
     service = _build_service(args)
     targets = args.targets or service.target_names
     started = time.perf_counter()
-    report = service.select_many(targets, top_k=args.top_k)
+    if args.timeout is not None or args.max_queue is not None:
+        from repro.core.batch import BatchSelectionReport
+
+        try:
+            handles = [
+                service.submit(target, top_k=args.top_k, timeout=args.timeout)
+                for target in targets
+            ]
+            report = BatchSelectionReport()
+            for target, handle in zip(targets, handles):
+                report.results[target] = service.result(handle)
+        except SchedulerError as error:
+            return _scheduler_failure(error, stream)
+    else:
+        report = service.select_many(targets, top_k=args.top_k)
     elapsed = time.perf_counter() - started
     if args.json:
         payload = {
@@ -185,6 +254,43 @@ def _cmd_batch(args: argparse.Namespace, stream) -> int:
         file=stream,
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, stream) -> int:
+    """Long-lived JSON front-end over the service's epoch scheduler."""
+    from repro.serving import ServeFrontEnd
+
+    service = _build_service(args)
+    front = ServeFrontEnd(service, default_timeout=args.timeout)
+    config = service._scheduler_config
+    banner = {
+        "event": "serving",
+        "modality": args.modality,
+        "num_models": len(service.artifacts.hub),
+        "policy": config.policy,
+        "max_concurrent": config.max_concurrent,
+        "epoch_budget": config.epoch_budget,
+        "max_queue": config.max_queue,
+    }
+    if args.port is not None:
+        server = front.serve_tcp(args.host, args.port)
+        banner["port"] = server.server_address[1]
+        json.dump(banner, stream)
+        print(file=stream, flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+        return 0
+    json.dump(banner, stream)
+    print(file=stream, flush=True)
+    code = front.serve_stream(sys.stdin, stream)
+    service.close()
+    return code
 
 
 def _cmd_zoo(args: argparse.Namespace, stream) -> int:
@@ -390,6 +496,31 @@ def _cmd_bench(args: argparse.Namespace, stream) -> int:
 # --------------------------------------------------------------------------- #
 # parser wiring
 # --------------------------------------------------------------------------- #
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--timeout``/``--max-queue``: route through the epoch scheduler.
+
+    Either flag switches the command onto the scheduled request path with
+    a deadline and a bounded admission queue; exhausting the budget exits
+    with code 3 and a structured JSON error instead of blocking forever.
+    """
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; on expiry the command emits a JSON "
+        "error object and exits with code 3 instead of blocking",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="bound of the scheduler's admission queue (backpressure); "
+        "a rejected submission exits with code 3",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -410,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument(
         "--top-k", type=int, default=None, help="models recalled into phase 2"
     )
+    _add_budget_arguments(select)
     select.add_argument("--json", action="store_true", help="emit JSON")
     select.set_defaults(handler=_cmd_select)
 
@@ -427,8 +559,67 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--top-k", type=int, default=None, help="models recalled into phase 2"
     )
+    _add_budget_arguments(batch)
     batch.add_argument("--json", action="store_true", help="emit JSON")
     batch.set_defaults(handler=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived JSON front-end over the epoch scheduler "
+        "(stdin/stdout, or TCP with --port)",
+    )
+    _add_common_arguments(serve)
+    serve.add_argument(
+        "--max-concurrent",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="requests trained concurrently; the rest wait in the "
+        "admission queue (default: 4)",
+    )
+    serve.add_argument(
+        "--epoch-budget",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="fine-tuning epochs dispatched per scheduling round across "
+        "all requests (default: 8)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="bound of the admission queue; submissions beyond it are "
+        "rejected with a queue_full error (default: 64)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("fair_share", "deadline"),
+        default="fair_share",
+        help="scheduling order of concurrent requests (default: fair_share)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (requests may override per-op)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a TCP socket on PORT instead of stdin/stdout "
+        "(0 picks a free port, reported in the banner)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port mode (default: 127.0.0.1)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     zoo = commands.add_parser(
         "zoo",

@@ -43,6 +43,7 @@ from repro.core.performance import (
     update_performance_matrix,
 )
 from repro.core.pipeline import OfflineArtifacts, RefreshResult, TwoPhaseSelector
+from repro.core.plan import SelectionPlan, SessionView, StagePolicy, TrainStep
 from repro.core.recall import CoarseRecall, RandomRecall
 from repro.core.results import (
     RecallResult,
@@ -84,6 +85,10 @@ __all__ = [
     "OfflineArtifacts",
     "RefreshResult",
     "TwoPhaseSelector",
+    "SelectionPlan",
+    "SessionView",
+    "StagePolicy",
+    "TrainStep",
     "CoarseRecall",
     "RandomRecall",
     "RecallResult",

@@ -6,10 +6,11 @@ selection queries should build them once and amortise them.
 :class:`BatchedSelectionRunner` does exactly that: it accepts a batch of
 target tasks, shares a single clustering and a single
 :class:`~repro.core.selection.FineSelection` engine across all of them,
-runs coarse-recall followed by fine-selection per task, and aggregates the
-epoch accounting of the per-task
-:class:`~repro.core.results.SelectionResult` records into one
-:class:`BatchSelectionReport`.
+and submits every task as one request to a batch-scoped
+:class:`~repro.sched.scheduler.EpochScheduler`, which interleaves their
+epoch steps over a shared training budget and session pool before the
+per-task :class:`~repro.core.results.SelectionResult` records are
+aggregated into one :class:`BatchSelectionReport`.
 
 Typical use::
 
@@ -28,11 +29,10 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.recall import CoarseRecall
 from repro.core.results import (
-    RecallResult,
     SelectionResult,
     TwoPhaseResult,
     aggregate_epoch_accounting,
@@ -168,11 +168,10 @@ class BatchedSelectionRunner:
         constructing fresh ones per call.
     parallel:
         Executor, :class:`~repro.parallel.config.ParallelConfig` or spec
-        string controlling the **per-task fan-out** of :meth:`run`: with a
-        thread or process backend, each target's coarse-recall +
-        fine-selection runs on its own worker.  Defaults to
-        ``artifacts.config.parallel``.  Every task is independent (named
-        per-``(model, task)`` random streams), so all backends return
+        string the batch's scheduler fans each round's training ops out
+        over (and the engines their inner loops).  Defaults to
+        ``artifacts.config.parallel``.  Every training step draws from a
+        named per-``(model, task)`` random stream, so all backends return
         reports identical to the serial path.
 
     One :class:`~repro.core.recall.CoarseRecall` and one
@@ -230,30 +229,27 @@ class BatchedSelectionRunner:
     def _resolve_task(self, target: TargetLike) -> ClassificationTask:
         return resolve_target_task(self.artifacts.suite, target)
 
-    def _run_single(
-        self, task: ClassificationTask, top_k: Optional[int]
-    ) -> Tuple[RecallResult, SelectionResult]:
-        """One target's coarse recall + fine selection (a fan-out unit)."""
-        recall_result = self._recall.recall(task, top_k=top_k)
-        selection_result = self._fine_selection.run(
-            recall_result.recalled_models, task
-        )
-        return recall_result, selection_result
-
     def run(
         self, targets: Sequence[TargetLike], *, top_k: Optional[int] = None
     ) -> BatchSelectionReport:
         """Select a checkpoint for every target task in the batch.
 
-        Each target runs coarse recall against the shared clustering
-        followed by fine selection through the shared
-        :class:`FineSelection` engine; with a parallel executor the whole
-        per-target unit is fanned out across workers, and results are
-        collected in submission order so the report is identical to the
-        serial path.  Each task's recall proxy cost is recorded on its
-        ``SelectionResult.extra_epoch_cost``, exactly as the single-task
-        :class:`~repro.core.pipeline.TwoPhaseSelector` does.
+        The runner is a thin client of the epoch scheduler: every target is
+        submitted as one request to a batch-scoped
+        :class:`~repro.sched.scheduler.EpochScheduler` sharing this
+        runner's engines, and the scheduler interleaves their epoch steps
+        over the configured executor — so overlapping requests share
+        partially-trained sessions through the
+        :class:`~repro.sched.pool.SessionPool` instead of each training
+        privately.  Results are collected in submission order and every
+        per-target record is bitwise-identical to a serial
+        :meth:`~repro.core.pipeline.TwoPhaseSelector.select` run; each
+        task's recall proxy cost is recorded on its
+        ``SelectionResult.extra_epoch_cost`` exactly as before.
         """
+        from repro.sched.config import SchedulerConfig
+        from repro.sched.scheduler import EpochScheduler
+
         tasks = [self._resolve_task(target) for target in targets]
         if not tasks:
             raise SelectionError("target batch must not be empty")
@@ -263,31 +259,27 @@ class BatchedSelectionRunner:
                 raise SelectionError(f"duplicate target {task.name!r} in batch")
             seen[task.name] = None
 
-        if self._executor.backend != "serial" and len(tasks) > 1:
-            # Materialise every lazy checkpoint once before fanning out, so
-            # thread workers never race hub construction and forked process
-            # workers inherit the models copy-on-write instead of each
-            # rebuilding them.  Likewise pre-train the cluster
-            # representatives' source heads when the proxy scorer needs the
-            # source posterior (LEEP/NCE): the lazy training is lock-guarded
-            # but doing it up front keeps workers contention-free and shares
-            # the heads with forked children.
-            self.artifacts.hub.models()
-            if getattr(self._recall._scorer, "uses_source_posterior", False):
-                for name in sorted(
-                    set(self.artifacts.clustering.representatives.values())
-                ):
-                    self.artifacts.hub.get(name).source_head()
-        pairs = self._executor.map(
-            lambda task: self._run_single(task, top_k), tasks
+        # A bulk batch wants the fewest, fattest scheduling rounds: every
+        # request is admitted at once and the unbounded epoch budget makes
+        # each round one full stage wave — a single executor dispatch per
+        # stage across the whole batch (fairness between requests that all
+        # arrived together is moot).
+        scheduler = EpochScheduler.for_artifacts(
+            self.artifacts,
+            fine_tuner=self.fine_tuner,
+            recall=self._recall,
+            fine_selection=self._fine_selection,
+            config=SchedulerConfig(
+                max_concurrent=len(tasks),
+                max_queue=len(tasks),
+                epoch_budget=None,
+            ),
+            parallel=self._executor,
         )
+        requests = [scheduler.submit(task, top_k=top_k) for task in tasks]
+        scheduler.run_until_idle()
 
         report = BatchSelectionReport()
-        for task, (recall, selection) in zip(tasks, pairs):
-            selection.extra_epoch_cost = recall.epoch_cost
-            report.results[task.name] = TwoPhaseResult(
-                target_name=task.name,
-                recall=recall,
-                selection=selection,
-            )
+        for task, request in zip(tasks, requests):
+            report.results[task.name] = scheduler.result(request)
         return report

@@ -1,0 +1,362 @@
+"""Resumable state machine for one online selection request.
+
+The paper's online phase — coarse recall followed by Algorithm 1's staged
+halving — historically ran as one blocking loop inside each selection
+algorithm.  :class:`SelectionPlan` decomposes that loop into an explicit
+state machine whose unit of work is a single :class:`TrainStep` — "advance
+model *m* by one validation interval for this request".  A driver claims
+steps, trains the corresponding sessions (in any order, on any executor)
+and reports completions; the plan advances a stage only once every step of
+that stage has completed, applying the algorithm's filtering rule through
+its :class:`StagePolicy`.
+
+Two drivers exist:
+
+* the selection algorithms in :mod:`repro.core.selection` drive a plan to
+  completion stage by stage (the serial path — behaviourally identical to
+  the pre-plan blocking loop);
+* :class:`repro.sched.scheduler.EpochScheduler` interleaves the steps of
+  *many* plans over a shared epoch budget, which is what lets concurrent
+  selection requests share fine-tuning work.
+
+Both produce bitwise-identical :class:`~repro.core.results.SelectionResult`
+records because every stochastic quantity lives in the per-``(model, task)``
+named random streams of the fine-tuning sessions, and the plan reads every
+validation/test accuracy from the session's recorded learning curve at the
+*request's own* epoch position (:class:`SessionView`) — never from the
+mutable head state, which a shared session may have trained further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import RecallResult, SelectionResult, StageRecord, TwoPhaseResult
+from repro.data.tasks import ClassificationTask
+from repro.utils.exceptions import SelectionError
+from repro.zoo.finetune import FineTuneSession
+
+
+class SessionView:
+    """One request's view on a (possibly shared) fine-tuning session.
+
+    ``position`` is the number of epochs *this request* has trained the
+    session through; the underlying session may be further along when
+    another request shares it.  All accuracy reads index the recorded
+    learning curve at ``position``, so a view is unaffected by later
+    training — the property that makes session sharing bitwise-safe.
+    """
+
+    def __init__(self, session: FineTuneSession) -> None:
+        self.session = session
+        self.position = 0
+
+    @property
+    def curve(self):
+        """Learning curve of the underlying session."""
+        return self.session.curve
+
+    def adopt(self, session: FineTuneSession, *, advance: int) -> None:
+        """Advance the view by ``advance`` epochs over ``session``.
+
+        ``session`` is the trained session object — the same object for
+        in-process training, or the pickled copy returned by a process
+        worker (mirroring how stage training crossed process boundaries
+        before the plan refactor).
+        """
+        self.session = session
+        self.position += int(advance)
+        if self.session.epochs_trained < self.position:
+            raise SelectionError(
+                f"session for {session.curve.model_name!r} trained to epoch "
+                f"{session.epochs_trained}, view requires {self.position}"
+            )
+
+    def _at_position(self, series: List[float]) -> float:
+        if self.position < 1:
+            raise SelectionError("view has not trained any epochs yet")
+        return series[self.position - 1]
+
+    def validation_accuracy(self) -> float:
+        """Validation accuracy at the view's epoch position."""
+        return self._at_position(self.curve.val_accuracy)
+
+    def test_accuracy(self) -> float:
+        """Test accuracy at the view's epoch position."""
+        return self._at_position(self.curve.test_accuracy)
+
+
+@dataclass(frozen=True)
+class TrainStep:
+    """Unit of schedulable work: advance one model by ``epochs`` epochs.
+
+    Steps are request-scoped — the same ``(model, stage)`` pair of two
+    concurrent requests is two distinct steps, even when both resolve to
+    one shared pooled session underneath.
+    """
+
+    model: str
+    epochs: int
+    stage: int
+
+
+class StagePolicy:
+    """Filtering rule a :class:`SelectionPlan` applies between stages.
+
+    Implemented by the selection algorithms in
+    :mod:`repro.core.selection`: brute force (single full-budget stage,
+    winner by final validation), successive halving and Algorithm 1's
+    trend-filtered halving.  Policies are stateless with respect to any
+    single request, so one policy instance can serve many concurrent
+    plans.
+    """
+
+    method = "base"
+
+    def stage_schedule(self) -> List[int]:
+        """Epochs trained per stage, e.g. ``[1, 1, 1, 1, 1]`` or ``[5]``."""
+        raise NotImplementedError
+
+    def filter_stage(
+        self,
+        stage_index: int,
+        surviving: Sequence[str],
+        validations: Dict[str, float],
+    ) -> Tuple[List[str], StageRecord]:
+        """Apply the algorithm's stage filter; return survivors + record."""
+        raise NotImplementedError
+
+
+class SelectionPlan:
+    """Explicit, resumable state machine of one selection request.
+
+    States: optional coarse **recall** (when built from a target rather
+    than a candidate list), then one **train/filter** cycle per stage of
+    the policy's schedule, then **done** (``result`` is set).  Between
+    those transitions the plan is inert data — it never blocks, so a
+    scheduler can hold hundreds of plans and advance whichever has
+    runnable steps.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`StagePolicy` applying the per-stage filtering rule.
+    task:
+        Target task of the request.
+    view_factory:
+        Maps a candidate model name to the :class:`SessionView` the plan
+        trains and reads — fresh sessions for the serial path, pooled
+        views for the scheduler.
+    candidates:
+        Candidate model names (skips the recall state).
+    recall:
+        Recall engine with a ``recall(task, top_k=...)`` method; used when
+        ``candidates`` is not given.
+    top_k:
+        Forwarded to the recall engine.
+    recall_result:
+        A recall outcome computed elsewhere (e.g. batched with other
+        requests' recalls by the scheduler); requires ``candidates`` and
+        makes :meth:`two_phase_result` available as if the plan had run
+        the recall itself.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: StagePolicy,
+        task: ClassificationTask,
+        view_factory: Callable[[str], SessionView],
+        candidates: Optional[Sequence[str]] = None,
+        recall=None,
+        top_k: Optional[int] = None,
+        recall_result: Optional[RecallResult] = None,
+    ) -> None:
+        self._policy = policy
+        self.task = task
+        self._view_factory = view_factory
+        self._recall = recall
+        self._top_k = top_k
+        self._stage_epochs = list(policy.stage_schedule())
+        if not self._stage_epochs:
+            raise SelectionError("stage schedule must not be empty")
+        if recall_result is not None and candidates is None:
+            raise SelectionError(
+                "a precomputed recall_result requires explicit candidates"
+            )
+        self.recall_result = recall_result
+        self.stage_index = 0
+        self.runtime_epochs = 0.0
+        self.stages: List[StageRecord] = []
+        self.result: Optional[SelectionResult] = None
+        self.views: Dict[str, SessionView] = {}
+        self.candidates: List[str] = []
+        self.surviving: List[str] = []
+        self._unclaimed: List[TrainStep] = []
+        self._inflight: set = set()
+        self._stage_open = False
+        if candidates is None:
+            if recall is None:
+                raise SelectionError("plan needs either candidates or a recall engine")
+        else:
+            self._init_candidates(candidates)
+
+    # ------------------------------------------------------------------ #
+    # state inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def needs_recall(self) -> bool:
+        """Whether the plan is still in the coarse-recall state."""
+        return not self.candidates
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has finished (``result`` is available)."""
+        return self.result is not None
+
+    @property
+    def num_stages(self) -> int:
+        """Total stages of the policy's schedule."""
+        return len(self._stage_epochs)
+
+    # ------------------------------------------------------------------ #
+    # recall state
+    # ------------------------------------------------------------------ #
+    def run_recall(self) -> RecallResult:
+        """Execute the coarse-recall phase and enter the first train stage."""
+        if not self.needs_recall:
+            raise SelectionError("plan has already recalled its candidates")
+        self.recall_result = self._recall.recall(self.task, top_k=self._top_k)
+        self._init_candidates(self.recall_result.recalled_models)
+        return self.recall_result
+
+    def _init_candidates(self, candidates: Sequence[str]) -> None:
+        names = list(candidates)
+        if not names:
+            raise SelectionError("candidate list must not be empty")
+        self.candidates = names
+        self.surviving = list(names)
+        # Candidate order fixes the iteration (and result-dict) order
+        # everywhere downstream, exactly like the pre-plan session dict.
+        self.views = {name: self._view_factory(name) for name in names}
+
+    # ------------------------------------------------------------------ #
+    # train/filter cycle
+    # ------------------------------------------------------------------ #
+    def _open_stage(self) -> None:
+        if self._stage_open or self.done or self.needs_recall:
+            return
+        interval = self._stage_epochs[self.stage_index]
+        self._unclaimed = [
+            TrainStep(model=name, epochs=interval, stage=self.stage_index)
+            for name in self.surviving
+        ]
+        self._inflight = set()
+        self._stage_open = True
+
+    def claim_next(self) -> Optional[TrainStep]:
+        """Hand out one runnable step of the current stage (or ``None``)."""
+        self._open_stage()
+        if not self._unclaimed:
+            return None
+        step = self._unclaimed.pop(0)
+        self._inflight.add(step)
+        return step
+
+    def claim_stage(self) -> List[TrainStep]:
+        """Hand out every remaining step of the current stage at once."""
+        self._open_stage()
+        steps, self._unclaimed = self._unclaimed, []
+        self._inflight.update(steps)
+        return steps
+
+    def release(self, step: TrainStep) -> None:
+        """Return a claimed-but-unexecuted step (e.g. on request failure)."""
+        if step in self._inflight:
+            self._inflight.discard(step)
+            self._unclaimed.insert(0, step)
+
+    def complete(self, step: TrainStep) -> None:
+        """Record that ``step``'s training ran; advance when the stage is done."""
+        if step not in self._inflight:
+            raise SelectionError(f"completing a step that was never claimed: {step}")
+        self._inflight.discard(step)
+        if not self._unclaimed and not self._inflight:
+            self._advance_stage()
+
+    def _advance_stage(self) -> None:
+        interval = self._stage_epochs[self.stage_index]
+        self.runtime_epochs += interval * len(self.surviving)
+        validations = {
+            name: self.views[name].validation_accuracy() for name in self.surviving
+        }
+        self.surviving, record = self._policy.filter_stage(
+            self.stage_index, self.surviving, validations
+        )
+        self.stages.append(record)
+        self.stage_index += 1
+        self._stage_open = False
+        if self.stage_index >= len(self._stage_epochs):
+            self._finalize()
+
+    def _finalize(self) -> None:
+        winner = self.surviving[0]
+        final_accuracies = {
+            name: view.test_accuracy()
+            for name, view in self.views.items()
+            if view.position > 0
+        }
+        result = SelectionResult(
+            method=self._policy.method,
+            target_name=self.task.name,
+            selected_model=winner,
+            selected_accuracy=self.views[winner].test_accuracy(),
+            selected_val_accuracy=self.views[winner].validation_accuracy(),
+            runtime_epochs=float(self.runtime_epochs),
+            num_candidates=len(self.candidates),
+            stages=self.stages,
+            final_accuracies=final_accuracies,
+        )
+        if self.recall_result is not None:
+            result.extra_epoch_cost = self.recall_result.epoch_cost
+        self.result = result
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def two_phase_result(self) -> TwoPhaseResult:
+        """Assemble the :class:`TwoPhaseResult` of a recall-started plan."""
+        if not self.done:
+            raise SelectionError("plan has not finished yet")
+        if self.recall_result is None:
+            raise SelectionError("plan was built from explicit candidates; "
+                                 "it has no recall phase to report")
+        return TwoPhaseResult(
+            target_name=self.task.name,
+            recall=self.recall_result,
+            selection=self.result,
+        )
+
+    def progress(self) -> Dict[str, object]:
+        """JSON-friendly snapshot of the plan's state (for ``poll``)."""
+        return {
+            "phase": (
+                "recall" if self.needs_recall
+                else "done" if self.done
+                else f"stage {self.stage_index}"
+            ),
+            "stage": self.stage_index,
+            "num_stages": self.num_stages,
+            "surviving": list(self.surviving),
+            "runtime_epochs": self.runtime_epochs,
+            "stages_completed": [
+                {
+                    "stage": record.stage,
+                    "surviving": list(record.surviving_models),
+                    "removed_by_trend": list(record.removed_by_trend),
+                    "removed_by_halving": list(record.removed_by_halving),
+                }
+                for record in self.stages
+            ],
+        }

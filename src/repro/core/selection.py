@@ -14,22 +14,28 @@ every fine-tuning epoch spent — the cost unit of the paper's Tables V/VI.
   whose predicted ceiling is below a better-validating competitor's by more
   than a threshold — allowing it to cut more than half per stage.
 
-Within each stage, the surviving candidates train independently (every
-session owns a per-``(model, task)`` named random stream), so the stage's
-epoch training fans out over an :class:`~repro.parallel.executor.Executor`;
-results are collected in candidate order and all backends — serial, thread,
-process — produce identical :class:`SelectionResult` records.
+Each algorithm is a :class:`~repro.core.plan.StagePolicy` — the per-stage
+filtering rule — and :meth:`run` drives a
+:class:`~repro.core.plan.SelectionPlan` (the resumable state machine the
+online phase decomposes into) to completion, stage by stage.  Within each
+stage, the surviving candidates train independently (every session owns a
+per-``(model, task)`` named random stream), so the stage's epoch training
+fans out over an :class:`~repro.parallel.executor.Executor`; results are
+collected in candidate order and all backends — serial, thread, process —
+produce identical :class:`SelectionResult` records.  The same plan/policy
+code also runs under :class:`~repro.sched.scheduler.EpochScheduler`, which
+interleaves steps of many concurrent requests; a request's result is
+bitwise-identical either way.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.config import FineSelectionConfig
 from repro.core.convergence import ConvergenceTrendMiner
 from repro.core.performance import PerformanceMatrix
+from repro.core.plan import SelectionPlan, SessionView, StagePolicy, TrainStep
 from repro.core.results import SelectionResult, StageRecord
 from repro.data.tasks import ClassificationTask
 from repro.parallel.executor import Executor, get_executor
@@ -38,8 +44,8 @@ from repro.zoo.finetune import FineTuneSession, FineTuner
 from repro.zoo.hub import ModelHub
 
 
-class _SelectionBase:
-    """Shared plumbing: session management and epoch accounting."""
+class _SelectionBase(StagePolicy):
+    """Shared plumbing: plan construction, session management, stage fan-out."""
 
     method = "base"
 
@@ -66,73 +72,48 @@ class _SelectionBase:
             raise SelectionError(f"unknown candidate model(s): {unknown[:3]}")
         return names
 
-    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
-        """Select among ``candidates`` on ``task``; implemented by subclasses."""
-        raise NotImplementedError
+    def _fresh_view(self, name: str, task: ClassificationTask) -> SessionView:
+        """A private (non-pooled) session view, as the serial path uses."""
+        return SessionView(self.fine_tuner.start_session(self.hub.get(name), task))
 
-    def _start_sessions(
+    def build_plan(
         self, candidates: Sequence[str], task: ClassificationTask
-    ) -> Dict[str, FineTuneSession]:
-        return {
-            name: self.fine_tuner.start_session(self.hub.get(name), task)
-            for name in candidates
-        }
+    ) -> SelectionPlan:
+        """The request's state machine over fresh per-request sessions."""
+        names = self._check_candidates(candidates)
+        return SelectionPlan(
+            policy=self,
+            task=task,
+            candidates=names,
+            view_factory=lambda name: self._fresh_view(name, task),
+        )
 
-    def _train_stage(
-        self,
-        sessions: Dict[str, FineTuneSession],
-        names: Sequence[str],
-        epochs: int,
-    ) -> int:
-        """Advance every named session by ``epochs`` epochs, possibly in parallel.
+    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
+        """Select among ``candidates`` on ``task`` by driving a plan serially."""
+        plan = self.build_plan(candidates, task)
+        while not plan.done:
+            self._run_stage(plan)
+        return plan.result
+
+    def _run_stage(self, plan: SelectionPlan) -> None:
+        """Train one full stage of ``plan``, possibly in parallel.
 
         Sessions are independent (per-``(model, task)`` random streams), so
         the training order cannot influence the curves; results are
         reassigned in candidate order.  With the process backend the trained
         session objects are pickled back from the forked workers, which is
         what lets stage training cross process boundaries transparently.
-
-        Returns the number of fine-tuning epochs spent.
         """
-        ordered = list(names)
+        steps = plan.claim_stage()
 
-        def train_one(name: str) -> Tuple[str, FineTuneSession]:
-            session = sessions[name]
-            session.train_epochs(epochs)
-            return name, session
+        def train_one(step: TrainStep) -> Tuple[TrainStep, FineTuneSession]:
+            session = plan.views[step.model].session
+            session.train_epochs(step.epochs)
+            return step, session
 
-        for name, session in self._executor.map(train_one, ordered):
-            sessions[name] = session
-        return epochs * len(ordered)
-
-    @staticmethod
-    def _result_from_sessions(
-        *,
-        method: str,
-        task: ClassificationTask,
-        sessions: Dict[str, FineTuneSession],
-        winner: str,
-        runtime_epochs: float,
-        num_candidates: int,
-        stages: List[StageRecord],
-    ) -> SelectionResult:
-        final_accuracies = {
-            name: session.curve.final_test
-            for name, session in sessions.items()
-            if session.epochs_trained > 0
-        }
-        winner_session = sessions[winner]
-        return SelectionResult(
-            method=method,
-            target_name=task.name,
-            selected_model=winner,
-            selected_accuracy=winner_session.curve.final_test,
-            selected_val_accuracy=winner_session.curve.final_val,
-            runtime_epochs=float(runtime_epochs),
-            num_candidates=num_candidates,
-            stages=stages,
-            final_accuracies=final_accuracies,
-        )
+        for step, session in self._executor.map(train_one, steps):
+            plan.views[step.model].adopt(session, advance=step.epochs)
+            plan.complete(step)
 
 
 class BruteForceSelection(_SelectionBase):
@@ -140,28 +121,25 @@ class BruteForceSelection(_SelectionBase):
 
     method = "brute_force"
 
-    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
-        """Select among ``candidates`` on ``task`` by exhaustive fine-tuning."""
-        names = self._check_candidates(candidates)
-        sessions = self._start_sessions(names, task)
-        total_epochs = self.config.total_epochs
-        runtime = self._train_stage(sessions, names, total_epochs)
-        validations = {name: sessions[name].curve.final_val for name in names}
+    def stage_schedule(self) -> List[int]:
+        """A single stage spending the whole fine-tuning budget."""
+        return [self.config.total_epochs]
+
+    def filter_stage(
+        self,
+        stage_index: int,
+        surviving: Sequence[str],
+        validations: Dict[str, float],
+    ) -> Tuple[List[str], StageRecord]:
+        """Keep the best validator (earlier candidate wins ties)."""
+        names = list(surviving)
         winner = max(names, key=lambda name: (validations[name], -names.index(name)))
-        stage = StageRecord(
-            stage=0,
+        record = StageRecord(
+            stage=stage_index,
             surviving_models=[winner],
             validation_accuracy=validations,
         )
-        return self._result_from_sessions(
-            method=self.method,
-            task=task,
-            sessions=sessions,
-            winner=winner,
-            runtime_epochs=runtime,
-            num_candidates=len(names),
-            stages=[stage],
-        )
+        return [winner], record
 
 
 class SuccessiveHalving(_SelectionBase):
@@ -169,44 +147,32 @@ class SuccessiveHalving(_SelectionBase):
 
     method = "successive_halving"
 
-    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
-        """Select among ``candidates`` on ``task`` by successive halving."""
-        names = self._check_candidates(candidates)
-        sessions = self._start_sessions(names, task)
+    def stage_schedule(self) -> List[int]:
+        """One validation interval per stage across the full budget."""
         interval = self.config.validation_interval
-        num_stages = self.config.total_epochs // interval
-        surviving = list(names)
-        runtime = 0
-        stages: List[StageRecord] = []
-        for stage_index in range(num_stages):
-            runtime += self._train_stage(sessions, surviving, interval)
-            validations = {
-                name: sessions[name].validation_accuracy() for name in surviving
-            }
-            removed: List[str] = []
-            if len(surviving) > 1:
-                keep = max(1, len(surviving) // 2)
-                ordered = sorted(surviving, key=lambda name: -validations[name])
-                removed = ordered[keep:]
-                surviving = ordered[:keep]
-            stages.append(
-                StageRecord(
-                    stage=stage_index,
-                    surviving_models=list(surviving),
-                    validation_accuracy=validations,
-                    removed_by_halving=removed,
-                )
-            )
-        winner = surviving[0]
-        return self._result_from_sessions(
-            method=self.method,
-            task=task,
-            sessions=sessions,
-            winner=winner,
-            runtime_epochs=runtime,
-            num_candidates=len(names),
-            stages=stages,
+        return [interval] * (self.config.total_epochs // interval)
+
+    def filter_stage(
+        self,
+        stage_index: int,
+        surviving: Sequence[str],
+        validations: Dict[str, float],
+    ) -> Tuple[List[str], StageRecord]:
+        """Drop the worse half of the surviving candidates."""
+        kept = list(surviving)
+        removed: List[str] = []
+        if len(kept) > 1:
+            keep = max(1, len(kept) // 2)
+            ordered = sorted(kept, key=lambda name: -validations[name])
+            removed = ordered[keep:]
+            kept = ordered[:keep]
+        record = StageRecord(
+            stage=stage_index,
+            surviving_models=list(kept),
+            validation_accuracy=validations,
+            removed_by_halving=removed,
         )
+        return kept, record
 
 
 class FineSelection(_SelectionBase):
@@ -231,55 +197,43 @@ class FineSelection(_SelectionBase):
         )
 
     # ------------------------------------------------------------------ #
-    def run(self, candidates: Sequence[str], task: ClassificationTask) -> SelectionResult:
-        """Select among ``candidates`` on ``task`` with Algorithm 1."""
-        names = self._check_candidates(candidates)
-        sessions = self._start_sessions(names, task)
+    def stage_schedule(self) -> List[int]:
+        """One validation interval per stage across the full budget."""
         interval = self.config.validation_interval
-        num_stages = self.config.total_epochs // interval
-        surviving = list(names)
-        runtime = 0
-        stages: List[StageRecord] = []
-        for stage_index in range(num_stages):
-            runtime += self._train_stage(sessions, surviving, interval)
-            validations = {
-                name: sessions[name].validation_accuracy() for name in surviving
-            }
-            predicted: Dict[str, float] = {}
-            removed_by_trend: List[str] = []
-            removed_by_halving: List[str] = []
-            if len(surviving) > 1:
-                stage_number = (stage_index + 1) * interval
-                if self.config.use_trend_filter:
-                    predicted = self._predict_final_accuracies(
-                        surviving, validations, stage_number
-                    )
-                    surviving, removed_by_trend = self._trend_filter(
-                        surviving, validations, predicted
-                    )
-                surviving, removed_by_halving = self._halve(
-                    surviving, validations, original_count=len(validations)
+        return [interval] * (self.config.total_epochs // interval)
+
+    def filter_stage(
+        self,
+        stage_index: int,
+        surviving: Sequence[str],
+        validations: Dict[str, float],
+    ) -> Tuple[List[str], StageRecord]:
+        """Trend-filter then halve the stage's survivors (Algorithm 1)."""
+        kept = list(surviving)
+        predicted: Dict[str, float] = {}
+        removed_by_trend: List[str] = []
+        removed_by_halving: List[str] = []
+        if len(kept) > 1:
+            stage_number = (stage_index + 1) * self.config.validation_interval
+            if self.config.use_trend_filter:
+                predicted = self._predict_final_accuracies(
+                    kept, validations, stage_number
                 )
-            stages.append(
-                StageRecord(
-                    stage=stage_index,
-                    surviving_models=list(surviving),
-                    validation_accuracy=validations,
-                    predicted_accuracy=predicted,
-                    removed_by_trend=removed_by_trend,
-                    removed_by_halving=removed_by_halving,
+                kept, removed_by_trend = self._trend_filter(
+                    kept, validations, predicted
                 )
+            kept, removed_by_halving = self._halve(
+                kept, validations, original_count=len(validations)
             )
-        winner = surviving[0]
-        return self._result_from_sessions(
-            method=self.method,
-            task=task,
-            sessions=sessions,
-            winner=winner,
-            runtime_epochs=runtime,
-            num_candidates=len(names),
-            stages=stages,
+        record = StageRecord(
+            stage=stage_index,
+            surviving_models=list(kept),
+            validation_accuracy=validations,
+            predicted_accuracy=predicted,
+            removed_by_trend=removed_by_trend,
+            removed_by_halving=removed_by_halving,
         )
+        return kept, record
 
     # ------------------------------------------------------------------ #
     def _predict_final_accuracies(

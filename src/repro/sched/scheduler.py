@@ -1,0 +1,725 @@
+"""Epoch-granular cooperative scheduler for concurrent selection requests.
+
+The online phase of one request is a :class:`~repro.core.plan.SelectionPlan`
+— recall, then staged halving whose unit of work is a single
+``(request, model, epoch-interval)`` training step.  :class:`EpochScheduler`
+multiplexes many such plans over one shared training budget: each
+*scheduling round* it picks up to ``epoch_budget`` epochs worth of runnable
+steps across the active requests (fair-share or deadline order), deduplicates
+steps that resolve to the same pooled session, executes the round through a
+:mod:`repro.parallel` executor, and advances every plan whose stage
+completed.  Admission control (bounded queue, ``max_concurrent``), per-request
+epoch quotas and deadlines bound the work any request can consume.
+
+Correctness does not depend on scheduling: every training step draws from
+the per-``(model, task)`` named random stream of its session and every read
+indexes the request's own epoch position, so a request's
+:class:`~repro.core.results.TwoPhaseResult` is bitwise-identical whether it
+ran alone through :class:`~repro.core.pipeline.TwoPhaseSelector`, batched,
+or interleaved with arbitrary concurrent traffic (enforced by the property
+suite in ``tests/property/test_property_scheduler.py``).  What scheduling
+*does* change is cost: overlapping requests share partially-trained
+checkpoints through the :class:`~repro.sched.pool.SessionPool`, so the
+aggregate epochs actually trained can be far below the epochs charged.
+
+The scheduler can be driven synchronously (:meth:`run_until_idle` — used by
+:class:`~repro.core.batch.BatchedSelectionRunner`) or by its own background
+thread (:meth:`start` — used by :meth:`repro.service.SelectionService.submit`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.plan import SelectionPlan, TrainStep
+from repro.core.results import TwoPhaseResult
+from repro.data.tasks import ClassificationTask
+from repro.parallel.executor import Executor, ExecutorLike, get_executor
+from repro.sched.config import SchedulerConfig
+from repro.sched.pool import PooledSessionView, SessionPool
+from repro.utils.exceptions import (
+    BudgetExhaustedError,
+    QueueFullError,
+    RequestTimeoutError,
+    SchedulerError,
+)
+
+#: Request lifecycle states (``SelectionRequest.state``).
+QUEUED = "queued"
+RECALL = "recall"
+TRAINING = "training"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class SchedulerContext:
+    """Artifact epoch a request is bound to at admission time.
+
+    In-flight requests keep the context they were admitted under; a zoo
+    refresh only changes what *later* requests see — mirroring the
+    service's atomic artifact swap.
+    """
+
+    artifacts: object
+    recall: object
+    fine_selection: object
+    version_key: str
+    fine_tuner: object
+
+
+class SelectionRequest:
+    """Handle of one submitted request: state, progress and (later) result.
+
+    Returned by :meth:`EpochScheduler.submit`; consumers poll it through
+    :meth:`EpochScheduler.poll` or block on :meth:`EpochScheduler.result`.
+    """
+
+    def __init__(
+        self,
+        request_id: int,
+        task: ClassificationTask,
+        *,
+        top_k: Optional[int],
+        context: SchedulerContext,
+        deadline: Optional[float],
+        epoch_quota: Optional[int],
+    ) -> None:
+        self.id = request_id
+        self.task = task
+        self.top_k = top_k
+        self.context = context
+        self.deadline = deadline
+        self.epoch_quota = epoch_quota
+        self.state = QUEUED
+        self.plan: Optional[SelectionPlan] = None
+        self.result: Optional[TwoPhaseResult] = None
+        self.error: Optional[Exception] = None
+        self.epochs_charged = 0
+        self.submitted_at = time.monotonic()
+        self.finished_at: Optional[float] = None
+        self._views: List[PooledSessionView] = []
+        self._event = threading.Event()
+        #: Set (under the scheduler lock) by the first finish/fail; later
+        #: attempts — e.g. a cancelling close() racing the serving thread —
+        #: are no-ops, so completion callbacks never fire twice.
+        self._terminal = False
+
+    @property
+    def target_name(self) -> str:
+        """Name of the request's target task."""
+        return self.task.name
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the request finishes (or ``timeout`` elapses)."""
+        return self._event.wait(timeout)
+
+    def latency_seconds(self) -> Optional[float]:
+        """Submit-to-finish wall time (``None`` while still in flight)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+def _resolve_task(context: SchedulerContext, target) -> ClassificationTask:
+    from repro.core.batch import resolve_target_task
+
+    return resolve_target_task(context.artifacts.suite, target)
+
+
+class EpochScheduler:
+    """Interleave the epoch steps of many concurrent selection requests.
+
+    Parameters
+    ----------
+    context_provider:
+        Zero-argument callable returning the :class:`SchedulerContext` new
+        requests bind to.  A static lambda for one-shot batch use; the
+        service passes a closure over its current artifacts so requests
+        admitted after a zoo refresh see the new epoch.
+    config:
+        :class:`~repro.sched.config.SchedulerConfig` (policy, budgets,
+        queue bound).
+    parallel:
+        Executor (or spec) the per-round training ops fan out over.
+    pool:
+        Session pool shared with other schedulers, if any; a fresh one is
+        created otherwise (from the context's fine-tuner).
+    on_complete:
+        Callback ``(request)`` fired when a request finishes or fails —
+        the service uses it for accounting.
+    """
+
+    def __init__(
+        self,
+        context_provider: Callable[[], SchedulerContext],
+        *,
+        config: Optional[SchedulerConfig] = None,
+        parallel: ExecutorLike = None,
+        pool: Optional[SessionPool] = None,
+        on_complete: Optional[Callable[[SelectionRequest], None]] = None,
+    ) -> None:
+        self._context_provider = context_provider
+        self.config = config or SchedulerConfig()
+        self._executor = get_executor(parallel)
+        # Explicit None check: an empty SessionPool is falsy (it has a
+        # __len__), and the fallback calls the context provider — which a
+        # caller constructing us under its own lock may not allow yet.
+        self._pool = (
+            pool if pool is not None else SessionPool(context_provider().fine_tuner)
+        )
+        self._on_complete = on_complete
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: List[SelectionRequest] = []
+        self._active: List[SelectionRequest] = []
+        self._ids = itertools.count()
+        self._rr_offset = 0  # fair-share rotation cursor
+        self._closed = False
+        self._cancelled = False
+        self._thread: Optional[threading.Thread] = None
+        self._completed = 0
+        self._failed = 0
+        self._rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_artifacts(
+        cls,
+        artifacts,
+        *,
+        fine_tuner=None,
+        recall=None,
+        fine_selection=None,
+        config: Optional[SchedulerConfig] = None,
+        parallel: ExecutorLike = None,
+        pool: Optional[SessionPool] = None,
+        on_complete: Optional[Callable[[SelectionRequest], None]] = None,
+    ) -> "EpochScheduler":
+        """Scheduler over one fixed set of offline artifacts.
+
+        Engines default to a fresh pair built exactly as the serial
+        selector builds them (``build_phase_engines``), guaranteeing the
+        two entry points cannot drift.
+        """
+        from repro.core.batch import build_phase_engines
+        from repro.zoo.finetune import FineTuner
+
+        tuner = fine_tuner or FineTuner(seed=0)
+        if (recall is None) != (fine_selection is None):
+            raise SchedulerError("recall and fine_selection must be supplied together")
+        if recall is None:
+            recall, fine_selection = build_phase_engines(
+                artifacts, tuner, parallel=get_executor(parallel)
+            )
+        version = getattr(artifacts, "version", None)
+        context = SchedulerContext(
+            artifacts=artifacts,
+            recall=recall,
+            fine_selection=fine_selection,
+            version_key=version.key if version is not None else "v0",
+            fine_tuner=tuner,
+        )
+        return cls(
+            lambda: context,
+            config=config,
+            parallel=parallel,
+            pool=pool,
+            on_complete=on_complete,
+        )
+
+    @property
+    def pool(self) -> SessionPool:
+        """The scheduler's session pool."""
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # submission API
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        target: Union[str, ClassificationTask],
+        *,
+        top_k: Optional[int] = None,
+        timeout: Optional[float] = None,
+        epoch_quota: Optional[int] = None,
+    ) -> SelectionRequest:
+        """Enqueue one selection request; returns its handle immediately.
+
+        Raises :class:`~repro.utils.exceptions.QueueFullError` when the
+        bounded admission queue is full (backpressure) and
+        :class:`~repro.utils.exceptions.SchedulerError` after
+        :meth:`close`.
+        """
+        context = self._context_provider()
+        task = _resolve_task(context, target)
+        if timeout is None:
+            timeout = self.config.timeout_seconds
+        if epoch_quota is None:
+            epoch_quota = self.config.max_epochs_per_request
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("scheduler is closed")
+            if len(self._queue) >= self.config.max_queue:
+                raise QueueFullError(
+                    f"admission queue is full ({self.config.max_queue} waiting); "
+                    "retry later or raise max_queue"
+                )
+            request = SelectionRequest(
+                next(self._ids),
+                task,
+                top_k=top_k,
+                context=context,
+                deadline=(
+                    time.monotonic() + timeout if timeout is not None else None
+                ),
+                epoch_quota=epoch_quota,
+            )
+            self._queue.append(request)
+            self._wake.notify_all()
+        return request
+
+    def poll(self, request: SelectionRequest) -> Dict[str, object]:
+        """Progress snapshot of one request (streaming per-stage detail)."""
+        with self._lock:
+            snapshot: Dict[str, object] = {
+                "id": request.id,
+                "target": request.target_name,
+                "state": request.state,
+                "epochs_charged": request.epochs_charged,
+            }
+            if request.plan is not None:
+                snapshot["progress"] = request.plan.progress()
+            if request.error is not None:
+                snapshot["error"] = {
+                    "type": type(request.error).__name__,
+                    "message": str(request.error),
+                }
+            latency = request.latency_seconds()
+            if latency is not None:
+                snapshot["latency_seconds"] = latency
+        return snapshot
+
+    def result(
+        self, request: SelectionRequest, timeout: Optional[float] = None
+    ) -> TwoPhaseResult:
+        """Block until ``request`` finishes; return (or re-raise) its outcome."""
+        if not request.wait(timeout):
+            raise RequestTimeoutError(
+                f"request {request.id} ({request.target_name!r}) still running "
+                f"after {timeout:.1f}s"
+            )
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    # ------------------------------------------------------------------ #
+    # driving
+    # ------------------------------------------------------------------ #
+    def run_until_idle(self) -> None:
+        """Drive rounds in the calling thread until no request remains."""
+        while True:
+            with self._lock:
+                if not self._queue and not self._active:
+                    return
+            self._round()
+
+    def start(self) -> None:
+        """Run the scheduling loop on a daemon background thread."""
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("scheduler is closed")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._serve_forever, name="repro-epoch-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting requests; drain or cancel the in-flight ones.
+
+        ``drain=True`` finishes everything already submitted;
+        ``drain=False`` cancels instead — the serving thread stops at the
+        next round boundary and every unfinished request fails with
+        :class:`~repro.utils.exceptions.SchedulerError`.  Requests the
+        thread finishes concurrently with the cancellation keep their real
+        outcome: finishing is atomic per request, whoever gets there
+        first.
+        """
+        with self._lock:
+            self._closed = True
+            if not drain:
+                self._cancelled = True
+            thread = self._thread
+            self._wake.notify_all()
+        if drain and thread is None:
+            self.run_until_idle()
+        if thread is not None:
+            thread.join(timeout=60.0)
+        if not drain:
+            with self._lock:
+                doomed = self._queue + self._active
+                self._queue, self._active = [], []
+            for request in doomed:
+                self._fail(request, SchedulerError("scheduler closed"))
+
+    def _serve_forever(self) -> None:
+        while True:
+            with self._lock:
+                while (
+                    not self._queue and not self._active
+                    and not self._closed and not self._cancelled
+                ):
+                    self._wake.wait(timeout=0.5)
+                if self._cancelled:
+                    return
+                if self._closed and not self._queue and not self._active:
+                    return
+            self._round()
+
+    # ------------------------------------------------------------------ #
+    # one scheduling round
+    # ------------------------------------------------------------------ #
+    def _round(self) -> None:
+        self._admit()
+        self._expire()
+        batch = self._select_steps()
+        if batch:
+            self._execute(batch)
+        with self._lock:
+            self._rounds += 1
+            finished = [
+                request for request in self._active if request.plan and request.plan.done
+            ]
+            for request in finished:
+                self._active.remove(request)
+        for request in finished:
+            self._finish(request)
+
+    def _admit(self) -> None:
+        """Move queued requests into the active set and run their recalls.
+
+        The coarse recalls of everything admitted this round run as **one**
+        executor map — one worker-pool dispatch for the whole admission
+        wave rather than one per request, which matters for the fork-based
+        process backend.  A recall failure (e.g. an unknown target) fails
+        only its own request.
+        """
+        admitted: List[SelectionRequest] = []
+        with self._lock:
+            while self._queue and (
+                len(self._active) + len(admitted) < self.config.max_concurrent
+            ):
+                request = self._queue.pop(0)
+                request.state = RECALL
+                admitted.append(request)
+            self._active.extend(admitted)
+        if not admitted:
+            return
+        self._prewarm(admitted)
+
+        def recall_one(request: SelectionRequest):
+            try:
+                return True, request.context.recall.recall(
+                    request.task, top_k=request.top_k
+                )
+            except Exception as error:  # noqa: BLE001 — reported per request
+                return False, error
+
+        outcomes = self._executor.map(recall_one, admitted)
+        for request, (ok, outcome) in zip(admitted, outcomes):
+            if not ok:
+                with self._lock:
+                    self._active.remove(request)
+                self._fail(request, outcome)
+                continue
+            try:
+                self._start_plan(request, outcome)
+                request.state = TRAINING
+            except Exception as error:  # noqa: BLE001 — failures land on the handle
+                with self._lock:
+                    self._active.remove(request)
+                self._fail(request, error)
+
+    def _prewarm(self, admitted: Sequence[SelectionRequest]) -> None:
+        """Materialise shared lazy state before fanning recalls out.
+
+        With a non-serial executor, each recall worker would otherwise
+        train the representatives' source heads (LEEP/NCE) privately —
+        deterministic but wasted per-worker work.  Warming them in the
+        parent shares them with forked children copy-on-write and keeps
+        thread workers contention-free (exactly what the pre-scheduler
+        batch fan-out did).
+        """
+        if self._executor.backend == "serial":
+            return
+        for context in {id(r.context): r.context for r in admitted}.values():
+            scorer = getattr(context.recall, "_scorer", None)
+            if getattr(scorer, "uses_source_posterior", False):
+                for name in sorted(
+                    set(context.artifacts.clustering.representatives.values())
+                ):
+                    context.artifacts.hub.get(name).source_head()
+
+    def _start_plan(self, request: SelectionRequest, recall_result) -> None:
+        context = request.context
+
+        def view_factory(name: str) -> PooledSessionView:
+            view = self._pool.acquire(
+                context.artifacts.hub.get(name),
+                request.task,
+                version_key=context.version_key,
+            )
+            request._views.append(view)
+            return view
+
+        plan = SelectionPlan(
+            policy=context.fine_selection,
+            task=request.task,
+            view_factory=view_factory,
+            candidates=recall_result.recalled_models,
+            recall_result=recall_result,
+        )
+        request.plan = plan
+
+    def _expire(self) -> None:
+        """Fail requests past their deadline (checked at round boundaries)."""
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                request
+                for request in self._queue + self._active
+                if request.deadline is not None and now > request.deadline
+            ]
+            for request in expired:
+                if request in self._queue:
+                    self._queue.remove(request)
+                if request in self._active:
+                    self._active.remove(request)
+        for request in expired:
+            self._fail(
+                request,
+                RequestTimeoutError(
+                    f"request {request.id} ({request.target_name!r}) missed its "
+                    "deadline"
+                ),
+            )
+
+    def _order_active(self) -> List[SelectionRequest]:
+        """Active requests in policy order for this round."""
+        with self._lock:
+            active = list(self._active)
+            if self.config.policy == "deadline":
+                # Earliest deadline first; requests without one run last,
+                # in arrival order.
+                active.sort(
+                    key=lambda request: (
+                        request.deadline if request.deadline is not None else float("inf"),
+                        request.id,
+                    )
+                )
+            else:  # fair_share
+                if active:
+                    offset = self._rr_offset % len(active)
+                    active = active[offset:] + active[:offset]
+                    self._rr_offset += 1
+        return active
+
+    def _select_steps(self) -> List[Tuple[SelectionRequest, TrainStep]]:
+        """Claim up to ``epoch_budget`` epochs of runnable steps.
+
+        Fair-share interleaves one step per request per pass; deadline
+        drains the most urgent request's stage first.  A request whose
+        next step would break its epoch quota fails here — before any
+        budget is wasted on it.  An unbounded budget (``None``) drains
+        every runnable step of the round in one wave.
+        """
+        budget = (
+            self.config.epoch_budget
+            if self.config.epoch_budget is not None
+            else float("inf")
+        )
+        chosen: List[Tuple[SelectionRequest, TrainStep]] = []
+        active = self._order_active()
+        exhausted: List[SelectionRequest] = []
+        # fair_share hands out one step per request per pass; deadline
+        # keeps claiming from the most urgent request until its stage (or
+        # the budget) is exhausted before moving to the next.
+        drain_request = self.config.policy == "deadline"
+        progress = True
+        while budget > 0 and progress:
+            progress = False
+            for request in active:
+                if budget <= 0:
+                    break
+                while budget > 0:
+                    if (
+                        request in exhausted
+                        or request.plan is None
+                        or request.plan.done
+                    ):
+                        break
+                    step = request.plan.claim_next()
+                    if step is None:
+                        break
+                    if step.epochs > budget and chosen:
+                        # Out of round budget; put it back for next round.
+                        request.plan.release(step)
+                        break
+                    quota = request.epoch_quota
+                    if (
+                        quota is not None
+                        and request.epochs_charged + step.epochs > quota
+                    ):
+                        request.plan.release(step)
+                        # Refund the doomed request's steps already chosen
+                        # this round: nothing of a failed request should
+                        # train, and the freed budget goes to live
+                        # requests instead.
+                        refunded = [s for r, s in chosen if r is request]
+                        if refunded:
+                            chosen = [
+                                (r, s) for r, s in chosen if r is not request
+                            ]
+                            for earlier in refunded:
+                                request.plan.release(earlier)
+                            freed = sum(s.epochs for s in refunded)
+                            request.epochs_charged -= freed
+                            budget += freed
+                        exhausted.append(request)
+                        break
+                    chosen.append((request, step))
+                    request.epochs_charged += step.epochs
+                    budget -= step.epochs
+                    progress = True
+                    if not drain_request:
+                        break
+        for request in exhausted:
+            with self._lock:
+                if request in self._active:
+                    self._active.remove(request)
+            self._fail(
+                request,
+                BudgetExhaustedError(
+                    f"request {request.id} ({request.target_name!r}) exceeded its "
+                    f"epoch quota of {request.epoch_quota}"
+                ),
+            )
+        return chosen
+
+    def _execute(self, batch: Sequence[Tuple[SelectionRequest, TrainStep]]) -> None:
+        """Run one round's training ops, deduplicated by pooled session.
+
+        Steps of different requests can resolve to the same shared session;
+        each underlying session is trained **once per round**, to the
+        furthest epoch any step needs, and every step then completes
+        against the recorded curve.  Ops fan out over the configured
+        executor; with the process backend the advanced sessions are
+        pickled back and re-adopted, exactly like serial stage training.
+        """
+        # Group steps by session entry: one training op per shared session.
+        ops: Dict[int, Tuple[PooledSessionView, int]] = {}
+        for request, step in batch:
+            view = request.plan.views[step.model]
+            entry_id = id(view.entry)
+            target = view.position + step.epochs
+            current = ops.get(entry_id)
+            if current is None or target > current[1]:
+                ops[entry_id] = (view, target)
+
+        op_list = list(ops.values())
+
+        def train_op(index: int):
+            # Only the index crosses the process boundary on dispatch, and
+            # only picklable results (epoch count + trained session) cross
+            # back — views hold locks and stay in the parent.
+            view, target = op_list[index]
+            trained = view.entry.ensure_epochs(target)
+            return index, trained, view.entry.session
+
+        trained_total = 0
+        for index, trained, session in self._executor.map(
+            train_op, range(len(op_list))
+        ):
+            # With the process backend the parent's entry never trained;
+            # adopt the advanced copy.  In-process backends adopt the same
+            # object (a no-op reassignment).
+            op_list[index][0].entry.adopt(session)
+            trained_total += trained
+
+        charged_total = 0
+        for request, step in batch:
+            view = request.plan.views[step.model]
+            view.adopt(view.entry.session, advance=step.epochs)
+            charged_total += step.epochs
+            request.plan.complete(step)
+        # Dedup makes reuse explicit: epochs charged to requests minus
+        # epochs actually trained this round is the pool's saving.
+        self._pool.record_round(charged=charged_total, trained=trained_total)
+
+    # ------------------------------------------------------------------ #
+    # completion
+    # ------------------------------------------------------------------ #
+    def _make_terminal(self, request: SelectionRequest) -> bool:
+        """Atomically claim the right to finish/fail ``request`` (once)."""
+        with self._lock:
+            if request._terminal:
+                return False
+            request._terminal = True
+            return True
+
+    def _finish(self, request: SelectionRequest) -> None:
+        if not self._make_terminal(request):
+            return
+        request.result = request.plan.two_phase_result()
+        request.state = DONE
+        request.finished_at = time.monotonic()
+        self._release_views(request)
+        with self._lock:
+            self._completed += 1
+        request._event.set()
+        if self._on_complete is not None:
+            self._on_complete(request)
+
+    def _fail(self, request: SelectionRequest, error: Exception) -> None:
+        if not self._make_terminal(request):
+            return
+        request.error = error
+        request.state = FAILED
+        request.finished_at = time.monotonic()
+        self._release_views(request)
+        with self._lock:
+            self._failed += 1
+        request._event.set()
+        if self._on_complete is not None:
+            self._on_complete(request)
+
+    def _release_views(self, request: SelectionRequest) -> None:
+        for view in request._views:
+            self._pool.release(view)
+        request._views = []
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Scheduler counters plus the session pool's hit/reuse report."""
+        with self._lock:
+            return {
+                "policy": self.config.policy,
+                "max_concurrent": self.config.max_concurrent,
+                "epoch_budget": self.config.epoch_budget,
+                "queued": len(self._queue),
+                "active": len(self._active),
+                "completed": self._completed,
+                "failed": self._failed,
+                "rounds": self._rounds,
+                "session_pool": self._pool.stats(),
+            }

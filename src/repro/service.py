@@ -9,11 +9,26 @@ of ``select`` / ``select_many`` / ``recall`` requests against them, fanning
 work out over the configured :mod:`repro.parallel` executor and keeping
 running totals (requests, epoch-equivalents spent) for observability.
 
+Two request paths exist:
+
+* the **blocking** path — :meth:`SelectionService.select` and friends run
+  the caller's request to completion in the calling thread, exactly as a
+  bare :class:`~repro.core.pipeline.TwoPhaseSelector` would;
+* the **scheduled** path — :meth:`SelectionService.submit` enqueues the
+  request with the service's :class:`~repro.sched.scheduler.EpochScheduler`
+  and returns a handle immediately; :meth:`poll` streams per-stage
+  progress and :meth:`result` blocks for the outcome.  Concurrent
+  requests interleave at epoch granularity over a shared training budget
+  and reuse each other's partially-trained sessions through the
+  :class:`~repro.sched.pool.SessionPool` — results are bitwise-identical
+  to the blocking path either way (see ``docs/serving.md``).
+
 The service is thread-safe: the engines it shares across requests hold no
 per-request mutable state, lazy checkpoint construction is lock-guarded in
 the hub, and the artifact cache is thread-safe — so a server can call one
 service instance from many request threads.  The ``python -m repro`` CLI is
-a thin front-end over this class.
+a thin front-end over this class (``python -m repro serve`` exposes the
+scheduled path as a long-lived JSON front-end).
 
 The model zoo underneath a running service is *mutable*:
 :meth:`SelectionService.refresh` applies checkpoint additions/removals by
@@ -28,7 +43,9 @@ Typical use::
 
     service = SelectionService.from_modality("nlp", seed=0)
     result = service.select("mnli")
-    report = service.select_many(["boolq", "tweet_eval"])
+    handle = service.submit("boolq")          # scheduled, non-blocking
+    service.poll(handle)["state"]
+    service.result(handle).selected_model
     service.stats()["total_epoch_cost"]
 """
 
@@ -46,6 +63,9 @@ from repro.core.results import RecallResult, TwoPhaseResult
 from repro.data.tasks import ClassificationTask
 from repro.data.workloads import DataScale, suite_for_modality
 from repro.parallel.executor import ExecutorLike, get_executor
+from repro.sched.config import SchedulerConfig
+from repro.sched.pool import SessionPool
+from repro.sched.scheduler import EpochScheduler, SchedulerContext, SelectionRequest
 from repro.utils.exceptions import ConfigurationError
 from repro.zoo.finetune import FineTuner
 from repro.zoo.hub import ModelHub
@@ -69,6 +89,10 @@ class SelectionService:
         Executor, :class:`~repro.parallel.ParallelConfig` or
         ``"backend[:workers]"`` spec for the online hot paths; defaults to
         ``artifacts.config.parallel``.
+    scheduler:
+        :class:`~repro.sched.config.SchedulerConfig` of the service's
+        epoch scheduler (policy, concurrency, epoch budget, queue bound).
+        The scheduler itself starts lazily on the first :meth:`submit`.
     seed:
         Seed for the default fine-tuner.
     """
@@ -79,6 +103,7 @@ class SelectionService:
         *,
         fine_tuner: Optional[FineTuner] = None,
         parallel: ExecutorLike = None,
+        scheduler: Optional[SchedulerConfig] = None,
         seed: int = 0,
     ) -> None:
         self.artifacts = artifacts
@@ -96,6 +121,8 @@ class SelectionService:
         self._epoch_cost = 0.0
         self._refreshes = 0
         self._seed = int(seed)
+        self._scheduler_config = scheduler or SchedulerConfig()
+        self._scheduler: Optional[EpochScheduler] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -109,13 +136,20 @@ class SelectionService:
         config: Optional[PipelineConfig] = None,
         fine_tuner: Optional[FineTuner] = None,
         parallel: ExecutorLike = None,
+        scheduler: Optional[SchedulerConfig] = None,
         seed: int = 0,
     ) -> "SelectionService":
         """Run the offline phase for ``hub`` and wrap it in a service."""
         artifacts = OfflineArtifacts.build(
             hub, suite, config=config, fine_tuner=fine_tuner
         )
-        return cls(artifacts, fine_tuner=fine_tuner, parallel=parallel, seed=seed)
+        return cls(
+            artifacts,
+            fine_tuner=fine_tuner,
+            parallel=parallel,
+            scheduler=scheduler,
+            seed=seed,
+        )
 
     @classmethod
     def from_modality(
@@ -127,6 +161,7 @@ class SelectionService:
         num_models: Optional[int] = None,
         config: Optional[PipelineConfig] = None,
         parallel: ExecutorLike = None,
+        scheduler: Optional[SchedulerConfig] = None,
     ) -> "SelectionService":
         """Build the simulated repository for ``modality`` and serve it.
 
@@ -142,7 +177,8 @@ class SelectionService:
             hub = hub.subset(hub.model_names[:num_models])
         config = config or PipelineConfig.for_modality(modality)
         return cls.from_hub(
-            hub, suite, config=config, parallel=parallel, seed=seed
+            hub, suite, config=config, parallel=parallel, scheduler=scheduler,
+            seed=seed,
         )
 
     # ------------------------------------------------------------------ #
@@ -181,6 +217,88 @@ class SelectionService:
         return result
 
     # ------------------------------------------------------------------ #
+    # scheduled request API
+    # ------------------------------------------------------------------ #
+    def _scheduler_context(self) -> SchedulerContext:
+        """Bind a new request to the currently served artifact epoch."""
+        with self._lock:
+            selector = self._selector
+            artifacts = self.artifacts
+        version = artifacts.version
+        return SchedulerContext(
+            artifacts=artifacts,
+            recall=selector._recall,
+            fine_selection=selector._fine_selection,
+            version_key=version.key if version is not None else "v0",
+            fine_tuner=selector.fine_tuner,
+        )
+
+    def _on_request_complete(self, request: SelectionRequest) -> None:
+        if request.result is not None:
+            self._account(targets=1, cost=request.result.total_cost)
+        else:
+            with self._lock:
+                self._requests += 1
+
+    def _ensure_scheduler(self) -> EpochScheduler:
+        with self._lock:
+            if self._scheduler is None:
+                self._scheduler = EpochScheduler(
+                    self._scheduler_context,
+                    config=self._scheduler_config,
+                    parallel=self._executor,
+                    pool=SessionPool(self._selector.fine_tuner),
+                    on_complete=self._on_request_complete,
+                )
+                self._scheduler.start()
+            return self._scheduler
+
+    def submit(
+        self,
+        target: TargetLike,
+        *,
+        top_k: Optional[int] = None,
+        timeout: Optional[float] = None,
+        epoch_quota: Optional[int] = None,
+    ) -> SelectionRequest:
+        """Enqueue a request with the epoch scheduler; return its handle.
+
+        The request trains cooperatively with every other in-flight
+        request (fair-share or deadline order, shared epoch budget and
+        session pool) and its result is bitwise-identical to
+        :meth:`select`.  Raises
+        :class:`~repro.utils.exceptions.QueueFullError` when the bounded
+        admission queue rejects the request (backpressure); ``timeout``
+        and ``epoch_quota`` bound the request's wall time and charged
+        epochs (:class:`~repro.utils.exceptions.RequestTimeoutError` /
+        :class:`~repro.utils.exceptions.BudgetExhaustedError`).
+        """
+        return self._ensure_scheduler().submit(
+            target, top_k=top_k, timeout=timeout, epoch_quota=epoch_quota
+        )
+
+    def poll(self, request: SelectionRequest) -> Dict[str, object]:
+        """Progress snapshot of a submitted request (per-stage detail)."""
+        return self._ensure_scheduler().poll(request)
+
+    def result(
+        self, request: SelectionRequest, timeout: Optional[float] = None
+    ) -> TwoPhaseResult:
+        """Block until a submitted request finishes; return its result.
+
+        Re-raises the request's failure (timeout, budget exhaustion) if it
+        did not complete.
+        """
+        return self._ensure_scheduler().result(request, timeout=timeout)
+
+    def close(self) -> None:
+        """Drain and stop the scheduler (if one was started)."""
+        with self._lock:
+            scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.close(drain=True)
+
+    # ------------------------------------------------------------------ #
     # zoo updates
     # ------------------------------------------------------------------ #
     def refresh(self, *, added: Sequence = (), removed: Sequence[str] = ()):
@@ -190,11 +308,15 @@ class SelectionService:
         (incremental: only new checkpoints are fine-tuned, only changed
         similarity rows recomputed, clustering patched within its staleness
         budget) and atomically replaces the served artifacts and online
-        engines.  Requests already running keep the old epoch; the swap is
-        serialised so concurrent refreshes apply one at a time, and cache
-        entries of the superseded version are evicted only *after* the swap
-        so old-epoch requests still in flight cannot repopulate them.
-        Returns the :class:`~repro.core.pipeline.RefreshResult`.
+        engines.  Requests already running keep the old epoch — including
+        scheduled requests, whose context was bound at admission; the swap
+        is serialised so concurrent refreshes apply one at a time, and
+        cache entries of the superseded version are evicted only *after*
+        the swap so old-epoch requests still in flight cannot repopulate
+        them.  Idle pooled sessions of the superseded version are evicted
+        the same way (their keys embed the zoo version, so they could
+        never be hit again anyway).  Returns the
+        :class:`~repro.core.pipeline.RefreshResult`.
 
         The offline fine-tuner is deliberately **not** the online selector's:
         added models must train under the same (artifact-recorded) tuner the
@@ -207,6 +329,7 @@ class SelectionService:
         with self._refresh_lock:
             old_matrix = self.artifacts.matrix
             old_config = self.artifacts.config
+            old_version = self.artifacts.version
             result = self.artifacts.refresh(
                 added=added, removed=removed, evict_superseded=False
             )
@@ -220,6 +343,7 @@ class SelectionService:
                 self.artifacts = result.artifacts
                 self._selector = selector
                 self._refreshes += 1
+                scheduler = self._scheduler
             store = resolve_cache(None)
             if store is not None:
                 result.evicted_entries = store.evict_matching(
@@ -228,6 +352,8 @@ class SelectionService:
             result.evicted_entries += evict_spilled_artifacts(
                 getattr(old_config, "similarity", None), fingerprint_matrix(old_matrix)
             )
+            if scheduler is not None and old_version is not None:
+                scheduler.pool.evict_version(old_version.key)
         return result
 
     # ------------------------------------------------------------------ #
@@ -250,19 +376,29 @@ class SelectionService:
         ``uptime_seconds``, ``num_models``, ``zoo_version``, ``refreshes``,
         ``parallel``, ``similarity_backing`` (``"memmap"`` when the served
         similarity matrix is an out-of-core spill the service reads row
-        tiles from on demand, ``"memory"`` otherwise) and ``cache`` (the
-        per-tier hit/miss report of the process cache).
+        tiles from on demand, ``"memory"`` otherwise), ``scheduler`` (the
+        epoch scheduler's queue/completion counters and the session pool's
+        hit/reuse report — ``None`` until the first :meth:`submit`) and
+        ``cache`` (the per-tier hit/miss report of the process cache).
+
+        Everything version-coupled — the request/epoch counters, the
+        served artifacts and the scheduler snapshot — is read in **one**
+        critical section of the same lock :meth:`refresh` swaps under, so
+        a ``stats()`` racing a refresh can never pair the new
+        ``zoo_version`` with the old counters (or vice versa).
         """
         import numpy as np
 
         with self._lock:
-            snapshot = {
+            snapshot: Dict[str, object] = {
                 "requests": self._requests,
                 "targets_served": self._targets_served,
                 "total_epoch_cost": self._epoch_cost,
                 "refreshes": self._refreshes,
             }
             artifacts = self.artifacts
+            scheduler = self._scheduler
+            snapshot["scheduler"] = scheduler.stats() if scheduler is not None else None
         snapshot["uptime_seconds"] = time.monotonic() - self._started_at
         snapshot["num_models"] = len(artifacts.hub)
         version = artifacts.version

@@ -1,0 +1,326 @@
+"""JSON-lines front-end of the scheduled selection service.
+
+``python -m repro serve`` wraps a :class:`~repro.service.SelectionService`
+in a long-lived, line-oriented JSON protocol — over stdin/stdout by default
+or a TCP socket with ``--port`` — so non-Python clients can drive the
+epoch scheduler.  One request or response per line:
+
+* ``{"op": "select", "target": "mnli", "id": "r1", "top_k": 4}`` —
+  submit a request; answered immediately with an ``accepted`` event, then
+  asynchronously with ``progress`` events as stages complete and finally a
+  ``result`` (or ``failed``) event.
+* ``{"op": "poll", "id": "r1"}`` — progress snapshot of one request.
+* ``{"op": "stats"}`` — service counters (scheduler + session pool included).
+* ``{"op": "shutdown"}`` — drain outstanding requests and stop serving.
+
+Responses echo the client-chosen ``id``.  Admission failures surface as
+``failed`` events with the same structured error object the CLI's
+``select``/``batch`` commands emit on budget exhaustion (see
+:func:`error_payload`).  The protocol, fairness policies and tuning knobs
+are documented in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Dict, Optional, TextIO
+
+from repro.core.results import TwoPhaseResult
+from repro.utils.exceptions import ReproError
+
+#: Exit code of CLI commands failing on scheduler admission/budget errors —
+#: distinct from 2 (usage / library errors) so scripts can tell backpressure
+#: from misuse.
+EXIT_SCHEDULER = 3
+
+#: Structured error codes per scheduler exception type.
+_ERROR_CODES = {
+    "QueueFullError": "queue_full",
+    "BudgetExhaustedError": "budget_exhausted",
+    "RequestTimeoutError": "timeout",
+}
+
+#: Seconds between progress sweeps of the emitter thread.
+_POLL_INTERVAL = 0.02
+
+
+def result_payload(result: TwoPhaseResult) -> Dict[str, object]:
+    """JSON-friendly view of one two-phase result (shared with the CLI)."""
+    return {
+        "target": result.target_name,
+        "selected_model": result.selected_model,
+        "selected_accuracy": result.selected_accuracy,
+        "total_cost": result.total_cost,
+        "runtime_epochs": result.selection.runtime_epochs,
+        "recall_epoch_cost": result.recall.epoch_cost,
+        "recalled_models": list(result.recall.recalled_models),
+    }
+
+
+def error_payload(error: Exception) -> Dict[str, object]:
+    """Structured JSON error object for scheduler/request failures."""
+    name = type(error).__name__
+    return {
+        "error": {
+            "code": _ERROR_CODES.get(name, "error"),
+            "type": name,
+            "message": str(error),
+        }
+    }
+
+
+class ServeFrontEnd:
+    """Line-oriented JSON protocol over one :class:`SelectionService`.
+
+    One front end serves any number of streams/connections; submissions
+    from all of them multiplex onto the service's single epoch scheduler,
+    which is the point — concurrent clients share the training budget and
+    session pool.
+    """
+
+    def __init__(self, service, *, default_timeout: Optional[float] = None) -> None:
+        self.service = service
+        self.default_timeout = default_timeout
+
+    # ------------------------------------------------------------------ #
+    # stdin/stdout mode
+    # ------------------------------------------------------------------ #
+    def serve_stream(self, lines, out: TextIO) -> int:
+        """Serve line-delimited JSON requests from ``lines`` until EOF/shutdown.
+
+        Events for in-flight requests are emitted asynchronously between
+        reads; at EOF (or an explicit ``shutdown`` op) outstanding requests
+        are drained before returning.  Returns a process exit code.
+        """
+        emitter = _EventEmitter(self, out)
+        emitter.start()
+        try:
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                response = self.handle_line(line, emitter)
+                if response is not None:
+                    emitter.emit(response)
+                if emitter.shutdown_requested:
+                    break
+        finally:
+            emitter.drain_and_stop()
+        return 0
+
+    def handle_line(self, line: str, emitter: "_EventEmitter") -> Optional[Dict]:
+        """Dispatch one protocol line; return the immediate response (if any)."""
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {"event": "error", "message": f"malformed JSON: {error}"}
+        if not isinstance(message, dict):
+            return {"event": "error", "message": "expected a JSON object"}
+        op = message.get("op")
+        request_id = message.get("id")
+        try:
+            if op == "select":
+                return self._handle_select(message, emitter)
+            if op == "poll":
+                return self._handle_poll(request_id, emitter)
+            if op == "stats":
+                payload = {"event": "stats", "stats": self.service.stats()}
+                if request_id is not None:
+                    payload["id"] = request_id
+                return payload
+            if op == "shutdown":
+                emitter.shutdown_requested = True
+                payload = {"event": "shutting_down"}
+                if request_id is not None:
+                    payload["id"] = request_id
+                return payload
+            return {"event": "error", "id": request_id,
+                    "message": f"unknown op {op!r}"}
+        except ReproError as error:
+            payload = {"event": "failed", **error_payload(error)}
+            if request_id is not None:
+                payload["id"] = request_id
+            return payload
+
+    def _handle_select(self, message: Dict, emitter: "_EventEmitter") -> Dict:
+        target = message.get("target")
+        if not isinstance(target, str) or not target:
+            return {"event": "error", "id": message.get("id"),
+                    "message": "select needs a 'target' string"}
+        handle = self.service.submit(
+            target,
+            top_k=message.get("top_k"),
+            timeout=message.get("timeout", self.default_timeout),
+            epoch_quota=message.get("epoch_quota"),
+        )
+        request_id = message.get("id", f"req-{handle.id}")
+        emitter.track(request_id, handle)
+        return {"event": "accepted", "id": request_id, "target": target,
+                "request": handle.id}
+
+    def _handle_poll(self, request_id, emitter: "_EventEmitter") -> Dict:
+        handle = emitter.tracked(request_id)
+        if handle is None:
+            return {"event": "error", "id": request_id,
+                    "message": f"unknown request id {request_id!r}"}
+        snapshot = self.service.poll(handle)
+        # The scheduler's numeric id moves to "request"; "id" stays the
+        # client-chosen correlation id.
+        snapshot["request"] = snapshot.pop("id", None)
+        return {"event": "status", "id": request_id, **snapshot}
+
+    # ------------------------------------------------------------------ #
+    # TCP mode
+    # ------------------------------------------------------------------ #
+    def serve_tcp(self, host: str, port: int):
+        """Bind a threading TCP server speaking the same line protocol.
+
+        Returns the started server; callers own its lifecycle
+        (``server.serve_forever()`` / ``server.shutdown()``).  The bound
+        port is ``server.server_address[1]`` (useful with ``port=0``).
+        """
+        front = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                out = _SocketWriter(self.wfile)
+                emitter = _EventEmitter(front, out)
+                emitter.start()
+                try:
+                    for raw in self.rfile:
+                        line = raw.decode("utf-8").strip()
+                        if not line:
+                            continue
+                        response = front.handle_line(line, emitter)
+                        if response is not None:
+                            emitter.emit(response)
+                        if emitter.shutdown_requested:
+                            break
+                finally:
+                    emitter.drain_and_stop()
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        return Server((host, port), Handler)
+
+
+class _SocketWriter:
+    """Minimal text adapter over a binary socket file."""
+
+    def __init__(self, wfile) -> None:
+        self._wfile = wfile
+
+    def write(self, text: str) -> None:
+        self._wfile.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        self._wfile.flush()
+
+
+class _EventEmitter:
+    """Streams request lifecycle events for one client stream.
+
+    A small poller thread watches tracked handles and emits a ``progress``
+    event whenever a request completes another stage, then a terminal
+    ``result``/``failed`` event — the streaming per-stage feedback of the
+    serve protocol.  All writes share one lock so event lines never
+    interleave.
+    """
+
+    def __init__(self, front: ServeFrontEnd, out) -> None:
+        self._front = front
+        self._out = out
+        self._write_lock = threading.Lock()
+        self._tracked: Dict[object, object] = {}
+        self._last_stage: Dict[object, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.shutdown_requested = False
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._watch, name="repro-serve-emitter", daemon=True
+        )
+        self._thread.start()
+
+    def emit(self, payload: Dict) -> None:
+        with self._write_lock:
+            self._out.write(json.dumps(payload) + "\n")
+            self._out.flush()
+
+    def track(self, request_id, handle) -> None:
+        with self._lock:
+            self._tracked[request_id] = handle
+            self._last_stage[request_id] = -1
+
+    def tracked(self, request_id):
+        with self._lock:
+            return self._tracked.get(request_id)
+
+    # ------------------------------------------------------------------ #
+    def _watch(self) -> None:
+        while not self._stop.wait(_POLL_INTERVAL):
+            self._sweep()
+
+    def _sweep(self) -> None:
+        with self._lock:
+            items = list(self._tracked.items())
+        for request_id, handle in items:
+            snapshot = self._front.service.poll(handle)
+            progress = snapshot.get("progress") or {}
+            stage = progress.get("stage", 0)
+            if handle.state in ("done", "failed"):
+                self._finish(request_id, handle)
+            elif stage > self._last_stage.get(request_id, -1):
+                self._last_stage[request_id] = stage
+                self.emit({
+                    "event": "progress", "id": request_id,
+                    "target": handle.target_name,
+                    "stage": stage, "num_stages": progress.get("num_stages"),
+                    "surviving": progress.get("surviving", []),
+                })
+
+    def _finish(self, request_id, handle) -> None:
+        with self._lock:
+            # Another sweep may have finished it concurrently.
+            if request_id not in self._tracked:
+                return
+            del self._tracked[request_id]
+            self._last_stage.pop(request_id, None)
+        if handle.error is not None:
+            self.emit({"event": "failed", "id": request_id,
+                       "target": handle.target_name,
+                       **error_payload(handle.error)})
+        elif handle.result is None:
+            # Still running (drain timed out): report abandonment rather
+            # than crash on a result that does not exist yet.
+            self.emit({
+                "event": "failed", "id": request_id,
+                "target": handle.target_name,
+                "error": {"code": "timeout", "type": "ShutdownTimeout",
+                          "message": "request still running at shutdown"},
+            })
+        else:
+            payload = result_payload(handle.result)
+            payload["latency_seconds"] = handle.latency_seconds()
+            self.emit({"event": "result", "id": request_id, **payload})
+
+    def drain_and_stop(self) -> None:
+        """Wait out every tracked request, emit its terminal event, stop."""
+        while True:
+            with self._lock:
+                handles = list(self._tracked.items())
+            if not handles:
+                break
+            for request_id, handle in handles:
+                handle.wait(timeout=60.0)
+                self._finish(request_id, handle)
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)

@@ -27,3 +27,23 @@ class SelectionError(ReproError):
 
 class HubError(ReproError):
     """Raised when a model hub lookup fails (unknown model or dataset)."""
+
+
+class SchedulerError(ReproError):
+    """Base class for epoch-scheduler failures (see :mod:`repro.sched`)."""
+
+
+class QueueFullError(SchedulerError):
+    """Raised when the scheduler's bounded admission queue rejects a request.
+
+    This is the scheduler's backpressure signal: callers should retry
+    later, shed load, or raise ``max_queue``.
+    """
+
+
+class BudgetExhaustedError(SchedulerError):
+    """Raised when a request exceeds its per-request epoch quota."""
+
+
+class RequestTimeoutError(SchedulerError):
+    """Raised when a request misses its deadline before completing."""

@@ -191,3 +191,47 @@ class TestParallelEnvVar:
         code = main(["experiments", "--only", "fig99", "--scale", "small"],
                     stream=stream)
         assert code == 2
+
+
+class TestCliErrorPaths:
+    """Exit codes and stderr messages of the CLI's failure modes."""
+
+    def test_unknown_modality_exits_2_with_message(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["select", "--target", "mnli", "--modality", "audio"]
+            )
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'audio'" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", ["warp:4", "thread:zero", "thread:0", ":"])
+    def test_malformed_parallel_spec_exits_2(self, spec, capsys):
+        stream = io.StringIO()
+        code = main(
+            ["select", "--target", "mnli", "--parallel", spec, *COMMON],
+            stream=stream,
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_zoo_remove_nonexistent_model_exits_2(self, capsys):
+        stream = io.StringIO()
+        code = main(
+            ["zoo", "remove", "--models", "no-such/model", *COMMON],
+            stream=stream,
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no-such/model" in err
+
+    def test_zoo_refresh_without_changes_exits_2(self, capsys):
+        stream = io.StringIO()
+        code = main(["zoo", "refresh", *COMMON], stream=stream)
+        assert code == 2
+        assert "zoo refresh needs" in capsys.readouterr().err
+
+    def test_unknown_target_message_names_known_datasets(self, capsys):
+        stream = io.StringIO()
+        code = main(["select", "--target", "nope", *COMMON], stream=stream)
+        assert code == 2
+        assert "unknown target dataset" in capsys.readouterr().err

@@ -110,6 +110,129 @@ class TestSelectionService:
         assert shared.stats()["requests"] == 2 * len(nlp_suite_small.target_names)
 
 
+class TestScheduledRequests:
+    """The submit/poll/result path over the service's epoch scheduler."""
+
+    def test_submit_result_matches_select(self, nlp_artifacts):
+        service = SelectionService(nlp_artifacts)
+        try:
+            direct = service.select("mnli")
+            handle = service.submit("mnli")
+            scheduled = service.result(handle, timeout=120)
+            assert scheduled.selected_model == direct.selected_model
+            assert scheduled.selection.stages == direct.selection.stages
+            assert scheduled.total_cost == direct.total_cost
+        finally:
+            service.close()
+
+    def test_poll_streams_progress(self, nlp_artifacts):
+        service = SelectionService(nlp_artifacts)
+        try:
+            handle = service.submit("boolq")
+            service.result(handle, timeout=120)
+            snapshot = service.poll(handle)
+            assert snapshot["state"] == "done"
+            assert snapshot["progress"]["stages_completed"]
+        finally:
+            service.close()
+
+    def test_submit_accounts_like_select(self, nlp_artifacts):
+        service = SelectionService(nlp_artifacts)
+        try:
+            handle = service.submit("mnli")
+            result = service.result(handle, timeout=120)
+            stats = service.stats()
+            assert stats["requests"] == 1
+            assert stats["targets_served"] == 1
+            assert stats["total_epoch_cost"] == pytest.approx(result.total_cost)
+            assert stats["scheduler"]["completed"] == 1
+            assert stats["scheduler"]["session_pool"]["misses"] > 0
+        finally:
+            service.close()
+
+    def test_concurrent_submissions_reuse_sessions(self, nlp_artifacts):
+        from repro.sched.config import SchedulerConfig
+
+        service = SelectionService(
+            nlp_artifacts,
+            scheduler=SchedulerConfig(max_concurrent=4, epoch_budget=4),
+        )
+        try:
+            handles = [service.submit("mnli") for _ in range(3)]
+            results = [service.result(h, timeout=120) for h in handles]
+            assert len({r.selected_model for r in results}) == 1
+            pool = service.stats()["scheduler"]["session_pool"]
+            assert pool["epochs_reused"] == 2 * pool["epochs_trained"]
+        finally:
+            service.close()
+
+    def test_stats_before_first_submit_has_no_scheduler(self, nlp_artifacts):
+        service = SelectionService(nlp_artifacts)
+        assert service.stats()["scheduler"] is None
+
+
+class TestStatsRefreshAtomicity:
+    """Regression: stats() snapshots counters and zoo_version coherently.
+
+    A refresh swaps the served artifacts, bumps the refresh counter and
+    (with a scheduler running) rolls the session-pool version in one
+    critical section; a concurrent ``stats()`` must never observe the new
+    ``zoo_version`` paired with the old counters or vice versa.  The zoo
+    epoch increments exactly once per refresh, so the invariant
+    ``zoo_version.epoch == refreshes`` must hold in *every* snapshot.
+    """
+
+    def test_stats_never_tear_across_refresh(
+        self, nlp_hub_small, nlp_suite_small, test_pipeline_config, fine_tuner
+    ):
+        artifacts = OfflineArtifacts.build(
+            nlp_hub_small.subset(nlp_hub_small.model_names[:8]),
+            nlp_suite_small,
+            config=test_pipeline_config,
+            fine_tuner=fine_tuner,
+        )
+        service = SelectionService(artifacts)
+        spare = [
+            name
+            for name in nlp_hub_small.model_names
+            if name not in artifacts.hub.model_names
+        ][0]
+        stop = threading.Event()
+        torn = []
+
+        def observer():
+            while not stop.is_set():
+                stats = service.stats()
+                epoch = int(stats["zoo_version"].split("-")[0].lstrip("v"))
+                if epoch != stats["refreshes"]:
+                    torn.append(stats)
+
+        thread = threading.Thread(target=observer)
+        thread.start()
+        try:
+            for _ in range(2):
+                service.refresh(added=[spare])
+                service.refresh(removed=[spare])
+        finally:
+            stop.set()
+            thread.join()
+        assert not torn, f"stats() tore a refresh snapshot: {torn[0]}"
+        assert service.stats()["refreshes"] == 4
+
+    def test_refresh_evicts_old_version_sessions(self, nlp_artifacts):
+        service = SelectionService(nlp_artifacts)
+        try:
+            service.result(service.submit("mnli"), timeout=120)
+            before = service.stats()["scheduler"]["session_pool"]["sessions"]
+            assert before > 0
+            removed = service.artifacts.hub.model_names[-1]
+            service.refresh(removed=[removed])
+            after = service.stats()["scheduler"]["session_pool"]["sessions"]
+            assert after == 0  # old-version sessions were swept
+        finally:
+            service.close()
+
+
 class TestFromModality:
     def test_from_modality_small(self):
         service = SelectionService.from_modality("nlp", scale="small", num_models=8)

@@ -1,0 +1,259 @@
+"""Unit tests for the EpochScheduler: policies, budgets, backpressure."""
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import OfflineArtifacts, TwoPhaseSelector
+from repro.sched import EpochScheduler, SchedulerConfig
+from repro.utils.exceptions import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    QueueFullError,
+    RequestTimeoutError,
+    SchedulerError,
+)
+
+
+@pytest.fixture(scope="module")
+def artifacts(nlp_hub_small, nlp_suite_small, test_pipeline_config, fine_tuner):
+    return OfflineArtifacts.build(
+        nlp_hub_small,
+        nlp_suite_small,
+        config=test_pipeline_config,
+        fine_tuner=fine_tuner,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(artifacts):
+    selector = TwoPhaseSelector(artifacts)
+    return {name: selector.select(name) for name in ("mnli", "boolq")}
+
+
+def make_scheduler(artifacts, **overrides):
+    defaults = dict(max_concurrent=4, epoch_budget=4, max_queue=8)
+    defaults.update(overrides)
+    return EpochScheduler.for_artifacts(
+        artifacts, config=SchedulerConfig(**defaults)
+    )
+
+
+class TestSchedulerConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(policy="lifo")
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(max_concurrent=0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(epoch_budget=0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(max_epochs_per_request=0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(timeout_seconds=0)
+
+    def test_unbounded_epoch_budget_is_valid(self):
+        assert SchedulerConfig(epoch_budget=None).epoch_budget is None
+
+    def test_unbounded_budget_drains_a_stage_per_round(self, artifacts):
+        bounded = make_scheduler(artifacts, epoch_budget=1)
+        unbounded = make_scheduler(artifacts, epoch_budget=None)
+        for scheduler in (bounded, unbounded):
+            scheduler.submit("mnli")
+            scheduler.submit("boolq")
+            scheduler.run_until_idle()
+        assert unbounded.stats()["rounds"] < bounded.stats()["rounds"]
+
+
+class TestSingleRequest:
+    @pytest.mark.parametrize("policy", ["fair_share", "deadline"])
+    def test_matches_serial_selector(self, artifacts, serial_results, policy):
+        scheduler = make_scheduler(artifacts, policy=policy)
+        request = scheduler.submit("mnli")
+        scheduler.run_until_idle()
+        result = scheduler.result(request)
+        serial = serial_results["mnli"]
+        assert result.selected_model == serial.selected_model
+        assert result.selection.stages == serial.selection.stages
+        assert result.selection.final_accuracies == serial.selection.final_accuracies
+        assert result.recall.recall_scores == serial.recall.recall_scores
+        assert result.total_cost == serial.total_cost
+
+    def test_poll_progresses_to_done(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        request = scheduler.submit("mnli")
+        assert scheduler.poll(request)["state"] == "queued"
+        scheduler.run_until_idle()
+        snapshot = scheduler.poll(request)
+        assert snapshot["state"] == "done"
+        assert snapshot["progress"]["phase"] == "done"
+        assert snapshot["latency_seconds"] >= 0
+        assert snapshot["progress"]["stages_completed"]
+
+
+class TestConcurrentRequests:
+    def test_duplicate_targets_share_sessions(self, artifacts, serial_results):
+        scheduler = make_scheduler(artifacts)
+        requests = [scheduler.submit("mnli") for _ in range(3)]
+        scheduler.run_until_idle()
+        results = [scheduler.result(r) for r in requests]
+        for result in results:
+            assert result.selection.stages == serial_results["mnli"].selection.stages
+        stats = scheduler.pool.stats()
+        # Three identical requests cost barely more than one.
+        assert stats["epochs_reused"] >= stats["epochs_trained"]
+
+    def test_mixed_targets_each_match_serial(self, artifacts, serial_results):
+        scheduler = make_scheduler(artifacts, epoch_budget=2)
+        targets = ["mnli", "boolq", "mnli"]
+        requests = [scheduler.submit(t) for t in targets]
+        scheduler.run_until_idle()
+        for target, request in zip(targets, requests):
+            result = scheduler.result(request)
+            serial = serial_results[target]
+            assert result.selected_model == serial.selected_model
+            assert result.selection.stages == serial.selection.stages
+
+    def test_completion_counters(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        requests = [scheduler.submit(t) for t in ("mnli", "boolq")]
+        scheduler.run_until_idle()
+        stats = scheduler.stats()
+        assert stats["completed"] == 2
+        assert stats["failed"] == 0
+        assert stats["queued"] == 0 and stats["active"] == 0
+        assert stats["session_pool"]["misses"] > 0
+        assert all(scheduler.result(r) is not None for r in requests)
+
+
+class TestAdmissionControl:
+    def test_queue_full_raises(self, artifacts):
+        scheduler = make_scheduler(artifacts, max_queue=2)
+        scheduler.submit("mnli")
+        scheduler.submit("boolq")
+        with pytest.raises(QueueFullError, match="admission queue is full"):
+            scheduler.submit("mnli")
+        scheduler.run_until_idle()
+
+    def test_submit_after_close_raises(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        scheduler.close()
+        with pytest.raises(SchedulerError, match="closed"):
+            scheduler.submit("mnli")
+
+    def test_epoch_quota_fails_request(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        # The quota (1 epoch) is below the first stage's cost for 10
+        # recalled candidates, so the request must fail deterministically.
+        request = scheduler.submit("mnli", epoch_quota=1)
+        scheduler.run_until_idle()
+        assert request.state == "failed"
+        with pytest.raises(BudgetExhaustedError, match="epoch quota"):
+            scheduler.result(request)
+        assert scheduler.stats()["failed"] == 1
+
+    def test_expired_deadline_fails_request(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        request = scheduler.submit("mnli", timeout=1e-9)
+        scheduler.run_until_idle()
+        with pytest.raises(RequestTimeoutError):
+            scheduler.result(request)
+
+    def test_quota_failure_does_not_disturb_others(self, artifacts, serial_results):
+        scheduler = make_scheduler(artifacts)
+        doomed = scheduler.submit("mnli", epoch_quota=1)
+        healthy = scheduler.submit("boolq")
+        scheduler.run_until_idle()
+        assert doomed.state == "failed"
+        result = scheduler.result(healthy)
+        assert result.selection.stages == serial_results["boolq"].selection.stages
+
+
+class TestBackgroundThread:
+    def test_start_serves_submissions(self, artifacts, serial_results):
+        scheduler = make_scheduler(artifacts)
+        scheduler.start()
+        try:
+            request = scheduler.submit("mnli")
+            result = scheduler.result(request, timeout=120)
+            assert result.selected_model == serial_results["mnli"].selected_model
+        finally:
+            scheduler.close()
+
+    def test_result_timeout_raises(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        request = scheduler.submit("mnli")  # nothing is driving the loop
+        with pytest.raises(RequestTimeoutError, match="still running"):
+            scheduler.result(request, timeout=0.01)
+        scheduler.run_until_idle()
+
+    def test_close_without_drain_fails_pending(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        request = scheduler.submit("mnli")
+        scheduler.close(drain=False)
+        assert request.state == "failed"
+        with pytest.raises(SchedulerError):
+            scheduler.result(request)
+
+
+class TestDeadlinePolicy:
+    def test_earliest_deadline_finishes_first(self, artifacts):
+        """The deadline policy drains the urgent request's stages first."""
+        scheduler = make_scheduler(
+            artifacts, policy="deadline", max_concurrent=3, epoch_budget=2
+        )
+        relaxed = [scheduler.submit("boolq"), scheduler.submit("mnli")]
+        urgent = scheduler.submit("mnli", timeout=3600.0)
+        order = []
+        lock = threading.Lock()
+
+        def record(request):
+            with lock:
+                order.append(request.id)
+
+        scheduler._on_complete = record
+        scheduler.run_until_idle()
+        assert all(r.state == "done" for r in [*relaxed, urgent])
+        # The deadline-bearing request was submitted last but drains
+        # first, so it must not complete after the unrelated boolq
+        # request (the relaxed mnli twin may ride its shared sessions).
+        assert order.index(urgent.id) < order.index(relaxed[0].id)
+
+
+class TestQuotaRefund:
+    def test_failed_request_trains_nothing(self, artifacts):
+        """Steps claimed before the quota trips are refunded, not trained."""
+        scheduler = make_scheduler(artifacts, epoch_budget=None)
+        doomed = scheduler.submit("mnli", epoch_quota=3)
+        scheduler.run_until_idle()
+        assert doomed.state == "failed"
+        stats = scheduler.pool.stats()
+        # Nothing of the failed request reached a training op: with an
+        # unbounded budget its whole first stage was claimed in the same
+        # selection pass that tripped the quota.
+        assert stats["epochs_trained"] == 0
+        assert doomed.epochs_charged <= 3
+
+
+class TestCancellation:
+    def test_close_without_drain_cancels_background_thread(self, artifacts):
+        scheduler = make_scheduler(artifacts)
+        scheduler.start()
+        requests = [scheduler.submit("mnli"), scheduler.submit("boolq")]
+        scheduler.close(drain=False)
+        for request in requests:
+            assert request.state in ("done", "failed")
+            assert request._event.is_set()
+
+    def test_terminal_transition_fires_callbacks_once(self, artifacts):
+        completions = []
+        scheduler = make_scheduler(artifacts)
+        scheduler._on_complete = completions.append
+        request = scheduler.submit("mnli")
+        scheduler.run_until_idle()
+        # A late cancellation racing an already-finished request is a no-op.
+        scheduler._fail(request, SchedulerError("scheduler closed"))
+        assert request.state == "done"
+        assert [r.id for r in completions] == [request.id]
