@@ -2,18 +2,27 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-all ci ci-full docs-check docs-api docs-api-check \
-        bench-parallel bench-incremental bench-similarity bench-ooc bench-smoke \
-        bench-concurrent bench-concurrent-smoke examples
+.PHONY: test test-fast test-fault test-all ci ci-full docs-check docs-api \
+        docs-api-check bench-parallel bench-incremental bench-similarity \
+        bench-ooc bench-smoke bench-concurrent bench-concurrent-smoke \
+        bench-resume examples
 
 # Tier-1 verify: the full suite (what CI runs on main).
 test:
 	$(PY) -m pytest -x -q
 
 # Fast tier: skips the randomized property suite, the golden experiment
-# snapshots and slow integration runs — the loop for every-change CI.
+# snapshots, the crash-injection tier and slow integration runs — the loop
+# for every-change CI.
 test-fast:
-	$(PY) -m pytest -x -q -m "not slow and not property and not golden"
+	$(PY) -m pytest -x -q -m "not slow and not property and not golden and not faultinject"
+
+# Fault tier: the crash/fault-injection suite (kill at every durability
+# boundary, corrupt journals, SIGKILL real serve processes) plus the
+# randomized resume properties.  Its own CI job with a hard timeout — a
+# wedged recovery path must fail fast, not hang a runner.
+test-fault:
+	$(PY) -m pytest -x -q tests/faultinject tests/property/test_property_resume.py
 
 # Full tier: everything, including the slow examples.
 test-all:
@@ -67,6 +76,12 @@ bench-concurrent:
 
 bench-concurrent-smoke:
 	$(PY) benchmarks/bench_concurrent_selection.py --smoke
+
+# Crash-resume accounting: kill a selection mid-flight, resume it, and gate
+# that journaled epochs are replayed (charged, never retrained) and that a
+# raised budget pays only the delta.
+bench-resume:
+	$(PY) benchmarks/bench_resume.py --json-out benchmarks/bench_resume.json
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

@@ -49,12 +49,19 @@ from repro.cache.keys import (
     fingerprint_model,
     fingerprint_task,
     fingerprint_text,
+    plan_key,
     proxy_score_key,
     session_key,
     similarity_key,
     text_similarity_key,
 )
-from repro.cache.store import ArtifactCache, CacheStats, DiskCache, LRUCache
+from repro.cache.store import (
+    ArtifactCache,
+    CacheStats,
+    DiskCache,
+    LRUCache,
+    sweep_stale_temp_files,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -72,10 +79,12 @@ __all__ = [
     "fingerprint_task",
     "fingerprint_text",
     "get_cache",
+    "plan_key",
     "proxy_score_key",
     "resolve_cache",
     "session_key",
     "similarity_key",
+    "sweep_stale_temp_files",
     "text_similarity_key",
 ]
 

@@ -179,6 +179,31 @@ def session_key(
     return f"{base}:e={epochs}"
 
 
+def plan_key(
+    zoo_version: str,
+    task_fingerprint: str,
+    *,
+    method: str,
+    tuner_fingerprint: str,
+    top_k: Optional[int] = None,
+) -> str:
+    """Key of one selection request's persisted plan journal.
+
+    Identifies the request by everything that determines its answer: the
+    zoo version (candidate set and offline artifacts), the target task's
+    data fingerprint, the selection method and the ``top_k`` recall width,
+    plus a fingerprint of the fine-tuner configuration (two deployments
+    with different learning rates must never share journals).  The stage
+    *schedule* is deliberately excluded: raising a finished request's
+    epoch budget must reopen the same journal so the longer run continues
+    from the journaled rungs instead of restarting.
+    """
+    return (
+        f"plan:zoo={zoo_version}:{method}:k={top_k}:"
+        f"{tuner_fingerprint}:{task_fingerprint}"
+    )
+
+
 def proxy_score_key(
     scorer_name: str,
     model_fingerprint: str,

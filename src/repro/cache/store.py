@@ -33,6 +33,48 @@ from repro.utils.exceptions import ConfigurationError
 #: Characters allowed in on-disk file names derived from cache keys.
 _UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9_.=-]")
 
+#: Writer-unique temp suffix appended before an atomic publish:
+#: ``<name>.tmp-<pid>-<thread>``.
+_TMP_PATTERN = re.compile(r"\.tmp-(\d+)-\d+$")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (conservatively true on EPERM)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def sweep_stale_temp_files(directory: Union[str, Path]) -> int:
+    """Remove orphaned ``*.tmp-<pid>-<tid>`` files of dead writers.
+
+    A writer killed between creating its temp file and the atomic
+    :func:`os.replace` publish leaves the temp file behind forever; this
+    sweep reclaims them.  Temp files of still-running processes are left
+    alone — a concurrent writer sharing the directory may be mid-publish,
+    and its eventual replace is atomic.  Returns the number removed.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for path in directory.iterdir():
+        match = _TMP_PATTERN.search(path.name)
+        if match is None:
+            continue
+        if _pid_alive(int(match.group(1))):
+            continue
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass  # racing sweeper/writer; the file is gone or owned
+    return removed
+
 
 @dataclass
 class CacheStats:
@@ -210,6 +252,8 @@ class DiskCache:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        #: Temp files of writers killed mid-publish, reclaimed at startup.
+        self.swept_temp_files = sweep_stale_temp_files(self.directory)
 
     # ------------------------------------------------------------------ #
     def _path_stem(self, key: str) -> Path:

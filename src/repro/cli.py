@@ -125,6 +125,7 @@ def _build_service(args: argparse.Namespace):
         num_models=args.num_models,
         parallel=_parallel_config(args),
         scheduler=_scheduler_config(args),
+        store_dir=getattr(args, "store_dir", None),
     )
 
 
@@ -178,29 +179,52 @@ def _print_result(result: TwoPhaseResult, *, stream) -> None:
 def _cmd_select(args: argparse.Namespace, stream) -> int:
     service = _build_service(args)
     started = time.perf_counter()
-    if args.timeout is not None or args.max_queue is not None:
+    scheduled = (
+        args.timeout is not None
+        or args.max_queue is not None
+        or args.store_dir is not None
+        or args.raise_budget is not None
+        or args.anytime
+    )
+    anytime = None
+    if scheduled:
         # Scheduled path: admission control + deadline.  The result is
         # bitwise-identical to the blocking path; only failure modes
         # (queue full, deadline missed) differ — those exit with the
-        # distinct scheduler code instead of blocking forever.
+        # distinct scheduler code instead of blocking forever.  The
+        # persistence flags also land here: journals, budget raises and
+        # anytime snapshots only exist on the scheduler's plan objects.
         try:
             handle = service.submit(args.target, top_k=args.top_k,
-                                    timeout=args.timeout)
+                                    timeout=args.timeout,
+                                    total_epochs=args.raise_budget)
             result = service.result(handle)
         except SchedulerError as error:
             return _scheduler_failure(error, stream)
+        if args.anytime:
+            anytime = service.poll(handle, best=True).get("anytime")
     else:
         result = service.select(args.target, top_k=args.top_k)
     elapsed = time.perf_counter() - started
     if args.json:
         payload = _result_payload(result)
         payload["elapsed_seconds"] = elapsed
+        if anytime is not None:
+            payload["anytime"] = anytime
         json.dump(payload, stream, indent=2)
         print(file=stream)
     else:
         _print_result(result, stream=stream)
         print(f"online time     : {elapsed:.2f}s "
               f"(parallel={service.parallel_spec})", file=stream)
+        if anytime is not None and anytime.get("best"):
+            best = anytime["best"]
+            print(
+                f"anytime best    : {best['model']} "
+                f"(val acc {best['val_accuracy']:.3f}, "
+                f"confidence {best['confidence']:.2f})",
+                file=stream,
+            )
     return 0
 
 
@@ -258,10 +282,15 @@ def _cmd_batch(args: argparse.Namespace, stream) -> int:
 
 def _cmd_serve(args: argparse.Namespace, stream) -> int:
     """Long-lived JSON front-end over the service's epoch scheduler."""
+    from repro.persist.hooks import arm_exit_from_env
     from repro.serving import ServeFrontEnd
 
+    # Fault-injection seam: REPRO_CRASH_SITE hard-kills this process at a
+    # named persistence boundary (see tests/faultinject/harness.py).
+    arm_exit_from_env()
     service = _build_service(args)
-    front = ServeFrontEnd(service, default_timeout=args.timeout)
+    front = ServeFrontEnd(service, default_timeout=args.timeout,
+                          recover=args.store_dir is not None)
     config = service._scheduler_config
     banner = {
         "event": "serving",
@@ -272,6 +301,9 @@ def _cmd_serve(args: argparse.Namespace, stream) -> int:
         "epoch_budget": config.epoch_budget,
         "max_queue": config.max_queue,
     }
+    if args.store_dir is not None:
+        banner["store_dir"] = args.store_dir
+        banner["recovered"] = front.recovered_count
     if args.port is not None:
         server = front.serve_tcp(args.host, args.port)
         banner["port"] = server.server_address[1]
@@ -542,6 +574,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--top-k", type=int, default=None, help="models recalled into phase 2"
     )
     _add_budget_arguments(select)
+    select.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the selection plan as a crash-safe journal under DIR; "
+        "a rerun replays journaled work instead of retraining it",
+    )
+    select.add_argument(
+        "--raise-budget",
+        type=_positive_int,
+        default=None,
+        metavar="EPOCHS",
+        help="total fine-tuning epoch budget for this request; with "
+        "--store-dir, a finished request rerun at a higher budget "
+        "continues from its journaled rungs and only pays the delta",
+    )
+    select.add_argument(
+        "--anytime",
+        action="store_true",
+        help="also report the confidence-ordered anytime snapshot "
+        "(current best candidate) from the selection plan",
+    )
     select.add_argument("--json", action="store_true", help="emit JSON")
     select.set_defaults(handler=_cmd_select)
 
@@ -618,6 +672,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--host",
         default="127.0.0.1",
         help="bind address for --port mode (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="durable plan-journal directory: every request is journaled "
+        "under DIR, interrupted requests are recovered on startup, and "
+        "clients may use the resume/anytime protocol verbs",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import RecallResult, SelectionResult, StageRecord, TwoPhaseResult
 from repro.data.tasks import ClassificationTask
+from repro.persist.hooks import fire_crash_point
 from repro.utils.exceptions import SelectionError
 from repro.zoo.finetune import FineTuneSession
 
@@ -220,6 +221,16 @@ class SelectionPlan:
         """Total stages of the policy's schedule."""
         return len(self._stage_epochs)
 
+    @property
+    def stage_schedule(self) -> List[int]:
+        """Epochs trained per stage (a copy of the policy's schedule).
+
+        Journals record this with every request and result so a later
+        budget raise — which reuses the same plan key — can tell which
+        journaled steps belong to which schedule.
+        """
+        return list(self._stage_epochs)
+
     # ------------------------------------------------------------------ #
     # recall state
     # ------------------------------------------------------------------ #
@@ -271,6 +282,21 @@ class SelectionPlan:
         self._inflight.update(steps)
         return steps
 
+    def claim_step(self, model: str) -> Optional[TrainStep]:
+        """Claim the current stage's step for one specific model (or ``None``).
+
+        The journal-replay path uses this to complete exactly the steps a
+        previous process recorded, in journal order, regardless of where
+        they sat in the unclaimed queue.
+        """
+        self._open_stage()
+        for index, step in enumerate(self._unclaimed):
+            if step.model == model:
+                del self._unclaimed[index]
+                self._inflight.add(step)
+                return step
+        return None
+
     def release(self, step: TrainStep) -> None:
         """Return a claimed-but-unexecuted step (e.g. on request failure)."""
         if step in self._inflight:
@@ -281,6 +307,7 @@ class SelectionPlan:
         """Record that ``step``'s training ran; advance when the stage is done."""
         if step not in self._inflight:
             raise SelectionError(f"completing a step that was never claimed: {step}")
+        fire_crash_point("plan.step", model=step.model, stage=step.stage)
         self._inflight.discard(step)
         if not self._unclaimed and not self._inflight:
             self._advance_stage()
@@ -337,6 +364,56 @@ class SelectionPlan:
             recall=self.recall_result,
             selection=self.result,
         )
+
+    def best_so_far(self) -> Dict[str, object]:
+        """Anytime answer: the current best candidates, confidence-ordered.
+
+        Usable in every state — during recall it reports no candidates;
+        after completion it agrees with the final result.  Candidates are
+        ranked survivors-first, then by epochs trained (deeper evidence
+        first), then by validation accuracy at the request's own position,
+        with the deterministic candidate order breaking exact ties — the
+        same tie-breaking the stage filters use.  ``confidence`` is the
+        fraction of the request's total epoch budget already spent on the
+        leading candidate.
+        """
+        budget = sum(self._stage_epochs)
+        ranked = []
+        for order, name in enumerate(self.candidates):
+            view = self.views[name]
+            if view.position < 1:
+                continue
+            ranked.append(
+                (
+                    name not in self.surviving,  # survivors sort first
+                    -view.position,
+                    -view.validation_accuracy(),
+                    order,
+                    name,
+                )
+            )
+        ranked.sort()
+        candidates = [
+            {
+                "model": name,
+                "surviving": not eliminated,
+                "epochs_trained": -neg_position,
+                "val_accuracy": -neg_val,
+                "confidence": (-neg_position) / budget if budget else 0.0,
+            }
+            for eliminated, neg_position, neg_val, _order, name in ranked
+        ]
+        best = candidates[0] if candidates else None
+        return {
+            "phase": (
+                "recall" if self.needs_recall
+                else "done" if self.done
+                else f"stage {self.stage_index}"
+            ),
+            "final": self.done,
+            "best": best,
+            "candidates": candidates,
+        }
 
     def progress(self) -> Dict[str, object]:
         """JSON-friendly snapshot of the plan's state (for ``poll``)."""

@@ -1,0 +1,122 @@
+"""JSON codecs for the result records the plan journal persists.
+
+Round-tripping is exact: Python's ``json`` serialises floats via ``repr``
+and parses them back to the identical IEEE-754 double, so a
+:class:`~repro.core.results.TwoPhaseResult` decoded from a journal compares
+bitwise-equal to the live object it was encoded from — the property the
+resume suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.results import (
+    RecallResult,
+    SelectionResult,
+    StageRecord,
+    TwoPhaseResult,
+)
+
+
+def encode_recall(result: RecallResult) -> Dict[str, object]:
+    """JSON payload of one coarse-recall outcome."""
+    return {
+        "target_name": result.target_name,
+        "recalled_models": list(result.recalled_models),
+        "recall_scores": dict(result.recall_scores),
+        "proxy_scores": dict(result.proxy_scores),
+        "raw_proxy_scores": dict(result.raw_proxy_scores),
+        "epoch_cost": result.epoch_cost,
+    }
+
+
+def decode_recall(payload: Dict[str, object]) -> RecallResult:
+    """Rebuild a :class:`RecallResult` from its journal payload."""
+    return RecallResult(
+        target_name=payload["target_name"],
+        recalled_models=list(payload["recalled_models"]),
+        recall_scores=dict(payload["recall_scores"]),
+        proxy_scores=dict(payload["proxy_scores"]),
+        raw_proxy_scores=dict(payload["raw_proxy_scores"]),
+        epoch_cost=payload["epoch_cost"],
+    )
+
+
+def encode_stage(record: StageRecord) -> Dict[str, object]:
+    """JSON payload of one filtering-stage record."""
+    return {
+        "stage": record.stage,
+        "surviving_models": list(record.surviving_models),
+        "validation_accuracy": dict(record.validation_accuracy),
+        "predicted_accuracy": dict(record.predicted_accuracy),
+        "removed_by_trend": list(record.removed_by_trend),
+        "removed_by_halving": list(record.removed_by_halving),
+    }
+
+
+def decode_stage(payload: Dict[str, object]) -> StageRecord:
+    """Rebuild a :class:`StageRecord` from its journal payload."""
+    return StageRecord(
+        stage=payload["stage"],
+        surviving_models=list(payload["surviving_models"]),
+        validation_accuracy=dict(payload["validation_accuracy"]),
+        predicted_accuracy=dict(payload["predicted_accuracy"]),
+        removed_by_trend=list(payload["removed_by_trend"]),
+        removed_by_halving=list(payload["removed_by_halving"]),
+    )
+
+
+def encode_selection(result: SelectionResult) -> Dict[str, object]:
+    """JSON payload of one fine-selection outcome."""
+    return {
+        "method": result.method,
+        "target_name": result.target_name,
+        "selected_model": result.selected_model,
+        "selected_accuracy": result.selected_accuracy,
+        "selected_val_accuracy": result.selected_val_accuracy,
+        "runtime_epochs": result.runtime_epochs,
+        "num_candidates": result.num_candidates,
+        "stages": [encode_stage(record) for record in result.stages],
+        "final_accuracies": dict(result.final_accuracies),
+        "extra_epoch_cost": result.extra_epoch_cost,
+    }
+
+
+def decode_selection(payload: Dict[str, object]) -> SelectionResult:
+    """Rebuild a :class:`SelectionResult` from its journal payload."""
+    return SelectionResult(
+        method=payload["method"],
+        target_name=payload["target_name"],
+        selected_model=payload["selected_model"],
+        selected_accuracy=payload["selected_accuracy"],
+        selected_val_accuracy=payload["selected_val_accuracy"],
+        runtime_epochs=payload["runtime_epochs"],
+        num_candidates=payload["num_candidates"],
+        stages=[decode_stage(stage) for stage in payload["stages"]],
+        final_accuracies=dict(payload["final_accuracies"]),
+        extra_epoch_cost=payload["extra_epoch_cost"],
+    )
+
+
+def encode_result(result: TwoPhaseResult, *, schedule: List[int]) -> Dict[str, object]:
+    """JSON payload of one finished request (with the schedule it ran under).
+
+    ``schedule`` lets recovery tell a result that satisfies the current
+    budget apart from one computed under a smaller, since-raised budget.
+    """
+    return {
+        "target_name": result.target_name,
+        "schedule": [int(epochs) for epochs in schedule],
+        "recall": encode_recall(result.recall),
+        "selection": encode_selection(result.selection),
+    }
+
+
+def decode_result(payload: Dict[str, object]) -> TwoPhaseResult:
+    """Rebuild a :class:`TwoPhaseResult` from its journal payload."""
+    return TwoPhaseResult(
+        target_name=payload["target_name"],
+        recall=decode_recall(payload["recall"]),
+        selection=decode_selection(payload["selection"]),
+    )

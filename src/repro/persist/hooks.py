@@ -1,0 +1,110 @@
+"""Crash-point hooks: named fault-injection sites in the persistence path.
+
+Durability claims are only as good as the worst crash you have tested, so
+the persistence code declares its crash-relevant boundaries explicitly by
+calling :func:`fire_crash_point` with a site name:
+
+* ``"plan.step"`` — a selection plan is about to record one completed
+  training step (the step-boundary of the resumable state machine);
+* ``"journal.append"`` — a journal record is about to be written;
+* ``"journal.flush"`` — a journal record was written but not yet flushed;
+* ``"publish"`` — a session snapshot's temporary file is fully written
+  but not yet atomically published with ``os.replace``.
+
+In production no hook is installed and every call is a dictionary miss —
+effectively free.  The fault-injection harness
+(``tests/faultinject/harness.py``) installs a hook that raises
+:class:`SimulatedCrash` at the N-th hit of a site, which is how the test
+suite proves that a process dying at *any* of these boundaries leaves the
+on-disk state recoverable.
+
+This module deliberately imports nothing from the rest of the library so
+any layer (``repro.core.plan`` included) can declare crash points without
+creating import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, Optional
+
+#: Hook signature: ``hook(site, info)`` — raise to simulate a crash.
+CrashHook = Callable[[str, Dict[str, object]], None]
+
+
+class SimulatedCrash(BaseException):
+    """Raised by an installed crash hook to simulate sudden process death.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so no
+    ``except Exception`` recovery path in the library can accidentally
+    swallow the simulated crash and keep running code the real dead
+    process never would have reached.
+    """
+
+
+_LOCK = threading.Lock()
+_HOOKS: Dict[str, CrashHook] = {}
+
+
+def install_hook(site: str, hook: CrashHook) -> None:
+    """Install ``hook`` at ``site`` (replacing any previous hook there)."""
+    with _LOCK:
+        _HOOKS[site] = hook
+
+
+def remove_hook(site: str) -> None:
+    """Remove the hook at ``site`` (a no-op when none is installed)."""
+    with _LOCK:
+        _HOOKS.pop(site, None)
+
+
+def clear_hooks() -> None:
+    """Remove every installed hook."""
+    with _LOCK:
+        _HOOKS.clear()
+
+
+def arm_exit_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Arm a hard-exit failpoint from ``REPRO_CRASH_SITE``/``REPRO_CRASH_AT``.
+
+    The subprocess mode of the fault-injection harness cannot install a
+    Python hook into a freshly spawned ``python -m repro serve`` process,
+    so the serve entry point calls this once at startup: when
+    ``REPRO_CRASH_SITE`` names a crash site, a hook is installed that
+    calls ``os._exit(137)`` on the N-th hit of that site (N from
+    ``REPRO_CRASH_AT``, default 1).  ``os._exit`` skips every ``finally``
+    block, ``atexit`` handler and buffered flush — the closest in-process
+    stand-in for ``SIGKILL`` that still triggers at a deterministic
+    boundary.  Returns the armed site name, or ``None`` when the
+    environment does not request a failpoint.
+    """
+    env = os.environ if environ is None else environ
+    site = env.get("REPRO_CRASH_SITE")
+    if not site:
+        return None
+    ordinal = max(1, int(env.get("REPRO_CRASH_AT", "1")))
+    hits = {"n": 0}
+
+    def _exit_hook(_site: str, _info: Dict[str, object]) -> None:
+        hits["n"] += 1
+        if hits["n"] >= ordinal:
+            os._exit(137)
+
+    install_hook(site, _exit_hook)
+    return site
+
+
+def fire_crash_point(site: str, **info: object) -> None:
+    """Run the hook installed at ``site`` (if any) with ``info`` context.
+
+    Called by the persistence and plan layers at their crash-relevant
+    boundaries; a hook simulates a crash by raising
+    :class:`SimulatedCrash`.
+    """
+    if not _HOOKS:  # fast path: nothing installed anywhere
+        return
+    with _LOCK:
+        hook: Optional[CrashHook] = _HOOKS.get(site)
+    if hook is not None:
+        hook(site, info)

@@ -1,0 +1,105 @@
+"""Startup recovery scan over a :class:`~repro.persist.store.PlanStore`.
+
+On restart a server does not know which requests were in flight when the
+previous process died; the journals do.  :func:`scan_store` reads every
+journal's valid prefix and classifies each request as *completed* (its
+latest submission has a journaled ``result`` under the same stage
+schedule) or *pending* (anything else — including a journal whose tail was
+torn by the crash).  Pending requests are what
+:meth:`repro.sched.scheduler.EpochScheduler.recover` resubmits; the
+journal replay inside the scheduler then restores their charged steps
+without retraining.
+
+The scan is deliberately forgiving: an empty journal, a journal with no
+``request`` record yet, or one of a different zoo version is skipped
+rather than fatal — recovery must never be the thing that crashes a
+restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.persist.journal import PlanJournal
+from repro.persist.store import PlanStore
+
+
+@dataclass
+class RecoveredRequest:
+    """One journaled request found by the startup scan.
+
+    ``completed`` reflects the *latest* submission recorded in the
+    journal: a request whose budget was raised after a first completion is
+    completed only if the raised-budget run also journaled its result.
+    """
+
+    plan_key: str
+    target: str
+    version_key: str
+    method: str
+    schedule: List[int]
+    top_k: Optional[int] = None
+    completed: bool = False
+    steps_journaled: int = 0
+    dropped_records: int = 0
+    journal_file: str = ""
+    result_schedules: List[List[int]] = field(default_factory=list)
+
+
+def _scan_journal(journal: PlanJournal) -> Optional[RecoveredRequest]:
+    requests = journal.of_type("request")
+    if not requests:
+        return None  # empty or headerless journal: nothing to resume
+    latest = requests[-1]["payload"]
+    result_schedules = [
+        list(record["payload"].get("schedule", []))
+        for record in journal.of_type("result")
+    ]
+    schedule = list(latest.get("schedule", []))
+    return RecoveredRequest(
+        plan_key=latest.get("plan_key", ""),
+        target=latest.get("target", ""),
+        version_key=latest.get("version_key", ""),
+        method=latest.get("method", ""),
+        schedule=schedule,
+        top_k=latest.get("top_k"),
+        completed=schedule in result_schedules,
+        steps_journaled=len(journal.of_type("step")),
+        dropped_records=journal.dropped_records,
+        journal_file=str(journal.path),
+        result_schedules=result_schedules,
+    )
+
+
+def scan_store(
+    store: PlanStore, *, version_key: Optional[str] = None
+) -> List[RecoveredRequest]:
+    """Classify every journal in ``store``; optionally filter by zoo version.
+
+    Returns one :class:`RecoveredRequest` per resumable journal, in
+    deterministic (sorted path) order.  Journals that cannot be attributed
+    to a request — empty files, corrupt-from-the-first-record files — are
+    skipped; torn tails within an otherwise valid journal only reduce
+    ``steps_journaled`` (the valid prefix is still resumed).
+    """
+    recovered: List[RecoveredRequest] = []
+    for path in store.journal_paths():
+        entry = _scan_journal(PlanJournal(path, fsync=store.fsync))
+        if entry is None:
+            continue
+        if version_key is not None and entry.version_key != version_key:
+            continue
+        recovered.append(entry)
+    return recovered
+
+
+def pending_requests(
+    store: PlanStore, *, version_key: Optional[str] = None
+) -> List[RecoveredRequest]:
+    """The subset of :func:`scan_store` still awaiting a result."""
+    return [
+        entry
+        for entry in scan_store(store, version_key=version_key)
+        if not entry.completed
+    ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.cache import fingerprint_model, fingerprint_task, session_key
 from repro.core.plan import SessionView
@@ -133,6 +133,7 @@ class SessionPool:
         self._epochs_trained = 0
         self._epochs_reused = 0
         self._evicted = 0
+        self._restored = 0
 
     # ------------------------------------------------------------------ #
     # acquisition and release
@@ -143,12 +144,17 @@ class SessionPool:
         task: ClassificationTask,
         *,
         version_key: str,
+        loader: Optional[Callable[[str], Optional[FineTuneSession]]] = None,
     ) -> PooledSessionView:
         """Lease a view on the ``(version, model, task)`` session lineage.
 
         A pool hit returns a view positioned at epoch 0 over the existing
         (possibly already-trained) shared session; a miss starts a fresh
-        session through the pool's fine-tuner.
+        session through the pool's fine-tuner.  ``loader``, when given, is
+        consulted with the session key before starting fresh — the durable
+        :class:`~repro.persist.store.PlanStore` passes its snapshot loader
+        here, so a restarted process repopulates the pool with the epochs
+        a previous process already paid for.
         """
         key = session_key(
             version_key, fingerprint_model(model), fingerprint_task(task)
@@ -159,7 +165,12 @@ class SessionPool:
                 self._entries.move_to_end(key)
                 self._hits += 1
             else:
-                entry = PoolEntry(key, self.fine_tuner.start_session(model, task))
+                session = loader(key) if loader is not None else None
+                if session is not None:
+                    self._restored += 1
+                else:
+                    session = self.fine_tuner.start_session(model, task)
+                entry = PoolEntry(key, session)
                 self._entries[key] = entry
                 self._misses += 1
                 self._evict_over_bound()
@@ -257,4 +268,5 @@ class SessionPool:
                 "epochs_trained": self._epochs_trained,
                 "epochs_reused": self._epochs_reused,
                 "evicted": self._evicted,
+                "restored": self._restored,
             }

@@ -29,16 +29,29 @@ thread (:meth:`start` — used by :meth:`repro.service.SelectionService.submit`)
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import itertools
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cache import fingerprint_task, fingerprint_text
+from repro.cache import plan_key as make_plan_key
 from repro.core.plan import SelectionPlan, TrainStep
-from repro.core.results import TwoPhaseResult
+from repro.core.results import RecallResult, TwoPhaseResult
 from repro.data.tasks import ClassificationTask
 from repro.parallel.executor import Executor, ExecutorLike, get_executor
+from repro.persist.codec import (
+    decode_recall,
+    decode_result,
+    encode_recall,
+    encode_result,
+    encode_stage,
+)
+from repro.persist.recovery import pending_requests
+from repro.persist.store import PlanStore
 from repro.sched.config import SchedulerConfig
 from repro.sched.pool import PooledSessionView, SessionPool
 from repro.utils.exceptions import (
@@ -100,6 +113,12 @@ class SelectionRequest:
         self.result: Optional[TwoPhaseResult] = None
         self.error: Optional[Exception] = None
         self.epochs_charged = 0
+        #: Epochs satisfied from the plan journal on a resumed request —
+        #: charged to the request but (snapshots permitting) never retrained.
+        self.epochs_replayed = 0
+        #: Journal identity and handle when the scheduler persists plans.
+        self.plan_key: Optional[str] = None
+        self.journal = None
         self.submitted_at = time.monotonic()
         self.finished_at: Optional[float] = None
         self._views: List[PooledSessionView] = []
@@ -152,6 +171,13 @@ class EpochScheduler:
     on_complete:
         Callback ``(request)`` fired when a request finishes or fails —
         the service uses it for accounting.
+    persist:
+        Optional :class:`~repro.persist.store.PlanStore`.  When given,
+        every request is written through an append-only plan journal
+        (admission, recall, each charged step, stage transitions, result)
+        and every advanced session is snapshotted — which is what makes a
+        killed scheduler resumable via :meth:`recover` without re-paying
+        journaled epochs, and finished requests answerable from disk.
     """
 
     def __init__(
@@ -162,10 +188,12 @@ class EpochScheduler:
         parallel: ExecutorLike = None,
         pool: Optional[SessionPool] = None,
         on_complete: Optional[Callable[[SelectionRequest], None]] = None,
+        persist: Optional[PlanStore] = None,
     ) -> None:
         self._context_provider = context_provider
         self.config = config or SchedulerConfig()
         self._executor = get_executor(parallel)
+        self._persist = persist
         # Explicit None check: an empty SessionPool is falsy (it has a
         # __len__), and the fallback calls the context provider — which a
         # caller constructing us under its own lock may not allow yet.
@@ -185,6 +213,10 @@ class EpochScheduler:
         self._completed = 0
         self._failed = 0
         self._rounds = 0
+        self._epochs_replayed = 0
+        self._results_restored = 0
+        self._recalls_restored = 0
+        self._journal_errors = 0
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -201,6 +233,7 @@ class EpochScheduler:
         parallel: ExecutorLike = None,
         pool: Optional[SessionPool] = None,
         on_complete: Optional[Callable[[SelectionRequest], None]] = None,
+        persist: Optional[PlanStore] = None,
     ) -> "EpochScheduler":
         """Scheduler over one fixed set of offline artifacts.
 
@@ -232,6 +265,7 @@ class EpochScheduler:
             parallel=parallel,
             pool=pool,
             on_complete=on_complete,
+            persist=persist,
         )
 
     @property
@@ -249,8 +283,15 @@ class EpochScheduler:
         top_k: Optional[int] = None,
         timeout: Optional[float] = None,
         epoch_quota: Optional[int] = None,
+        total_epochs: Optional[int] = None,
     ) -> SelectionRequest:
         """Enqueue one selection request; returns its handle immediately.
+
+        ``total_epochs`` overrides the fine-selection policy's epoch budget
+        for this request only (the *raise-budget* verb): with a persisted
+        plan store the request reopens the same journal its smaller-budget
+        run wrote — journals are keyed without the schedule — so the longer
+        run replays the old rungs and charges only the delta epochs.
 
         Raises :class:`~repro.utils.exceptions.QueueFullError` when the
         bounded admission queue is full (backpressure) and
@@ -258,6 +299,13 @@ class EpochScheduler:
         :meth:`close`.
         """
         context = self._context_provider()
+        if total_epochs is not None:
+            # Per-request policy clone: shared engines, private budget.
+            policy = copy.copy(context.fine_selection)
+            policy.config = dataclasses.replace(
+                policy.config, total_epochs=int(total_epochs)
+            )
+            context = dataclasses.replace(context, fine_selection=policy)
         task = _resolve_task(context, target)
         if timeout is None:
             timeout = self.config.timeout_seconds
@@ -281,12 +329,34 @@ class EpochScheduler:
                 ),
                 epoch_quota=epoch_quota,
             )
+            if self._persist is not None:
+                request.plan_key = self._plan_key(context, task, top_k)
             self._queue.append(request)
             self._wake.notify_all()
         return request
 
-    def poll(self, request: SelectionRequest) -> Dict[str, object]:
-        """Progress snapshot of one request (streaming per-stage detail)."""
+    def _plan_key(self, context: SchedulerContext, task, top_k) -> str:
+        """Journal identity of one request (schedule deliberately excluded)."""
+        tuner = context.fine_tuner
+        tuner_fingerprint = fingerprint_text(
+            "finetuner", str(tuner._rng_factory.root_seed), repr(tuner.config)
+        )
+        return make_plan_key(
+            context.version_key,
+            fingerprint_task(task),
+            method=context.fine_selection.method,
+            tuner_fingerprint=tuner_fingerprint,
+            top_k=top_k,
+        )
+
+    def poll(self, request: SelectionRequest, *, best: bool = False) -> Dict[str, object]:
+        """Progress snapshot of one request (streaming per-stage detail).
+
+        With ``best=True`` the snapshot additionally carries ``anytime`` —
+        the plan's confidence-ordered current-best answer (see
+        :meth:`repro.core.plan.SelectionPlan.best_so_far`), usable while
+        the request is still training.
+        """
         with self._lock:
             snapshot: Dict[str, object] = {
                 "id": request.id,
@@ -294,8 +364,28 @@ class EpochScheduler:
                 "state": request.state,
                 "epochs_charged": request.epochs_charged,
             }
+            if request.epochs_replayed:
+                snapshot["epochs_replayed"] = request.epochs_replayed
             if request.plan is not None:
                 snapshot["progress"] = request.plan.progress()
+                if best:
+                    snapshot["anytime"] = request.plan.best_so_far()
+            elif best and request.result is not None:
+                # Result restored straight from the journal: no plan exists,
+                # but the final answer is the best answer.
+                selection = request.result.selection
+                snapshot["anytime"] = {
+                    "phase": "done",
+                    "final": True,
+                    "best": {
+                        "model": selection.selected_model,
+                        "surviving": True,
+                        "epochs_trained": None,
+                        "val_accuracy": selection.selected_val_accuracy,
+                        "confidence": 1.0,
+                    },
+                    "candidates": [],
+                }
             if request.error is not None:
                 snapshot["error"] = {
                     "type": type(request.error).__name__,
@@ -423,7 +513,22 @@ class EpochScheduler:
             self._active.extend(admitted)
         if not admitted:
             return
-        self._prewarm(admitted)
+        # Journal-backed admission: a request whose journal already proves
+        # a result (under this schedule) finishes without training; one
+        # with a journaled recall skips the live recall.  Only the rest
+        # pay for the batched recall dispatch below.
+        live: List[SelectionRequest] = []
+        for request in admitted:
+            action, restored_recall = self._admit_from_journal(request)
+            if action == "result":
+                continue
+            if action == "recall":
+                self._begin_training(request, restored_recall)
+            else:
+                live.append(request)
+        if not live:
+            return
+        self._prewarm(live)
 
         def recall_one(request: SelectionRequest):
             try:
@@ -433,20 +538,81 @@ class EpochScheduler:
             except Exception as error:  # noqa: BLE001 — reported per request
                 return False, error
 
-        outcomes = self._executor.map(recall_one, admitted)
-        for request, (ok, outcome) in zip(admitted, outcomes):
+        outcomes = self._executor.map(recall_one, live)
+        for request, (ok, outcome) in zip(live, outcomes):
             if not ok:
                 with self._lock:
                     self._active.remove(request)
                 self._fail(request, outcome)
                 continue
-            try:
-                self._start_plan(request, outcome)
-                request.state = TRAINING
-            except Exception as error:  # noqa: BLE001 — failures land on the handle
-                with self._lock:
+            self._journal_append(request, "recall", encode_recall(outcome))
+            self._begin_training(request, outcome)
+
+    def _begin_training(
+        self, request: SelectionRequest, recall_result: RecallResult
+    ) -> None:
+        try:
+            self._start_plan(request, recall_result)
+            request.state = TRAINING
+        except Exception as error:  # noqa: BLE001 — failures land on the handle
+            with self._lock:
+                if request in self._active:
                     self._active.remove(request)
-                self._fail(request, error)
+            self._fail(request, error)
+
+    def _admit_from_journal(
+        self, request: SelectionRequest
+    ) -> Tuple[str, Optional[RecallResult]]:
+        """Open the request's journal and restore whatever it already proves.
+
+        Returns ``("result", None)`` when the request finished straight
+        from a journaled result, ``("recall", result)`` when only the
+        recall phase could be reused, and ``("live", None)`` otherwise.
+        Appends a fresh ``request`` record whenever this submission's
+        schedule differs from the journal's latest one (first submission,
+        or a raised budget).
+        """
+        if self._persist is None or request.plan_key is None:
+            return "live", None
+        journal = self._persist.journal(request.plan_key)
+        request.journal = journal
+        schedule = [
+            int(epochs)
+            for epochs in request.context.fine_selection.stage_schedule()
+        ]
+        latest = journal.last_of_type("request")
+        if latest is None or list(latest["payload"].get("schedule", [])) != schedule:
+            self._journal_append(
+                request,
+                "request",
+                {
+                    "plan_key": request.plan_key,
+                    "target": request.target_name,
+                    "version_key": request.context.version_key,
+                    "method": request.context.fine_selection.method,
+                    "top_k": request.top_k,
+                    "schedule": schedule,
+                },
+            )
+        try:
+            for record in journal.of_type("result"):
+                if list(record["payload"].get("schedule", [])) == schedule:
+                    result = decode_result(record["payload"])
+                    with self._lock:
+                        if request in self._active:
+                            self._active.remove(request)
+                        self._results_restored += 1
+                    self._finish_with(request, result)
+                    return "result", None
+            recall_record = journal.last_of_type("recall")
+            if recall_record is not None:
+                restored = decode_recall(recall_record["payload"])
+                with self._lock:
+                    self._recalls_restored += 1
+                return "recall", restored
+        except (KeyError, TypeError, ValueError):
+            pass  # malformed payload: fall back to a live run
+        return "live", None
 
     def _prewarm(self, admitted: Sequence[SelectionRequest]) -> None:
         """Materialise shared lazy state before fanning recalls out.
@@ -470,12 +636,14 @@ class EpochScheduler:
 
     def _start_plan(self, request: SelectionRequest, recall_result) -> None:
         context = request.context
+        loader = self._persist.load_session if self._persist is not None else None
 
         def view_factory(name: str) -> PooledSessionView:
             view = self._pool.acquire(
                 context.artifacts.hub.get(name),
                 request.task,
                 version_key=context.version_key,
+                loader=loader,
             )
             request._views.append(view)
             return view
@@ -488,6 +656,67 @@ class EpochScheduler:
             recall_result=recall_result,
         )
         request.plan = plan
+        self._replay(request)
+
+    def _replay(self, request: SelectionRequest) -> None:
+        """Complete a resumed plan's journaled steps without recharging them.
+
+        Walks the journal's ``step`` records in append order, claiming each
+        one from the freshly built plan (:meth:`SelectionPlan.claim_step`)
+        and completing it against the pooled session — which, having been
+        restored from its snapshot, already holds the trained epochs, so
+        ``ensure_epochs`` is a no-op and nothing retrains.  Steps whose
+        ``(stage, epochs)`` don't match the current schedule position are
+        skipped: they belong to an earlier submission under a different
+        (since-raised) budget, and their training still flows in for free
+        through the session snapshots.
+        """
+        if request.journal is None:
+            return
+        plan = request.plan
+        schedule = plan.stage_schedule
+        charged = 0
+        trained = 0
+        for record in request.journal.of_type("step"):
+            if plan.done:
+                break
+            payload = record["payload"]
+            stage = payload.get("stage")
+            epochs = payload.get("epochs")
+            if stage != plan.stage_index or epochs != schedule[plan.stage_index]:
+                continue
+            step = plan.claim_step(str(payload.get("model")))
+            if step is None:
+                continue  # filtered out / not recalled under this schedule
+            view = plan.views[step.model]
+            trained += view.entry.ensure_epochs(view.position + step.epochs)
+            view.adopt(view.entry.session, advance=step.epochs)
+            plan.complete(step)
+            charged += step.epochs
+        if charged:
+            request.epochs_charged += charged
+            request.epochs_replayed = charged
+            self._pool.record_round(charged=charged, trained=trained)
+            with self._lock:
+                self._epochs_replayed += charged
+
+    def _journal_append(
+        self, request: SelectionRequest, record_type: str, payload: Dict[str, object]
+    ) -> None:
+        """Append one record to the request's journal (no-op without one).
+
+        A failing disk degrades persistence, not the request: the write
+        error is counted and the in-memory run continues.  Simulated
+        crashes (:class:`~repro.persist.hooks.SimulatedCrash`) are
+        :class:`BaseException` and still propagate.
+        """
+        if request.journal is None:
+            return
+        try:
+            request.journal.append(record_type, payload)
+        except OSError:
+            with self._lock:
+                self._journal_errors += 1
 
     def _expire(self) -> None:
         """Fail requests past their deadline (checked at round boundaries)."""
@@ -659,7 +888,26 @@ class EpochScheduler:
             view = request.plan.views[step.model]
             view.adopt(view.entry.session, advance=step.epochs)
             charged_total += step.epochs
+            if request.journal is not None:
+                # Durability ordering: publish the session snapshot BEFORE
+                # journaling the step, so every journaled step's training is
+                # restorable.  A crash between the two leaves a snapshot
+                # ahead of the journal — harmless, since views only read
+                # the curve prefix at their own position.
+                try:
+                    self._persist.save_session(view.entry.key, view.entry.session)
+                except OSError:
+                    with self._lock:
+                        self._journal_errors += 1
+            stages_before = len(request.plan.stages)
             request.plan.complete(step)
+            self._journal_append(
+                request,
+                "step",
+                {"model": step.model, "stage": step.stage, "epochs": step.epochs},
+            )
+            for stage_record in request.plan.stages[stages_before:]:
+                self._journal_append(request, "stage", encode_stage(stage_record))
         # Dedup makes reuse explicit: epochs charged to requests minus
         # epochs actually trained this round is the pool's saving.
         self._pool.record_round(charged=charged_total, trained=trained_total)
@@ -679,6 +927,25 @@ class EpochScheduler:
         if not self._make_terminal(request):
             return
         request.result = request.plan.two_phase_result()
+        self._journal_append(
+            request,
+            "result",
+            encode_result(request.result, schedule=request.plan.stage_schedule),
+        )
+        request.state = DONE
+        request.finished_at = time.monotonic()
+        self._release_views(request)
+        with self._lock:
+            self._completed += 1
+        request._event.set()
+        if self._on_complete is not None:
+            self._on_complete(request)
+
+    def _finish_with(self, request: SelectionRequest, result: TwoPhaseResult) -> None:
+        """Finish a request from a journaled result (no plan, no training)."""
+        if not self._make_terminal(request):
+            return
+        request.result = result
         request.state = DONE
         request.finished_at = time.monotonic()
         self._release_views(request)
@@ -707,12 +974,64 @@ class EpochScheduler:
         request._views = []
 
     # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def recover(self) -> List[SelectionRequest]:
+        """Resubmit every journaled request still awaiting its result.
+
+        Called once at startup (after a crash or orderly shutdown with
+        work in flight).  Each pending journal of the current zoo version
+        becomes a fresh submission under its journaled budget; admission
+        then replays the journal, so the resumed run charges only what was
+        never recorded.  Journals of other versions, other policies, or
+        targets the current suite no longer knows are skipped — recovery
+        must never be the thing that crashes a restart.  Returns the new
+        handles in deterministic (journal path) order.
+        """
+        if self._persist is None:
+            return []
+        context = self._context_provider()
+        current_schedule = [
+            int(epochs) for epochs in context.fine_selection.stage_schedule()
+        ]
+        with self._lock:
+            # A journal whose request is already live (e.g. recover() called
+            # twice, or a client resubmitted the target) must not be
+            # resubmitted — it is being driven to its result right now.
+            live_keys = {
+                request.plan_key
+                for request in self._queue + self._active
+                if request.plan_key is not None
+            }
+        recovered: List[SelectionRequest] = []
+        for entry in pending_requests(self._persist, version_key=context.version_key):
+            if entry.method != context.fine_selection.method or not entry.target:
+                continue
+            if entry.plan_key in live_keys:
+                continue
+            raise_to = (
+                sum(entry.schedule)
+                if entry.schedule and entry.schedule != current_schedule
+                else None
+            )
+            try:
+                request = self.submit(
+                    entry.target, top_k=entry.top_k, total_epochs=raise_to
+                )
+            except (SchedulerError, QueueFullError):
+                break  # closed or saturated: remaining journals stay pending
+            except Exception:  # noqa: BLE001 — e.g. target gone from the suite
+                continue
+            recovered.append(request)
+        return recovered
+
+    # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
         """Scheduler counters plus the session pool's hit/reuse report."""
         with self._lock:
-            return {
+            report: Dict[str, object] = {
                 "policy": self.config.policy,
                 "max_concurrent": self.config.max_concurrent,
                 "epoch_budget": self.config.epoch_budget,
@@ -723,3 +1042,12 @@ class EpochScheduler:
                 "rounds": self._rounds,
                 "session_pool": self._pool.stats(),
             }
+            if self._persist is not None:
+                report["persist"] = {
+                    **self._persist.stats(),
+                    "epochs_replayed": self._epochs_replayed,
+                    "results_restored": self._results_restored,
+                    "recalls_restored": self._recalls_restored,
+                    "journal_errors": self._journal_errors,
+                }
+        return report

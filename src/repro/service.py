@@ -63,6 +63,7 @@ from repro.core.results import RecallResult, TwoPhaseResult
 from repro.data.tasks import ClassificationTask
 from repro.data.workloads import DataScale, suite_for_modality
 from repro.parallel.executor import ExecutorLike, get_executor
+from repro.persist.store import PlanStore
 from repro.sched.config import SchedulerConfig
 from repro.sched.pool import SessionPool
 from repro.sched.scheduler import EpochScheduler, SchedulerContext, SelectionRequest
@@ -95,6 +96,14 @@ class SelectionService:
         The scheduler itself starts lazily on the first :meth:`submit`.
     seed:
         Seed for the default fine-tuner.
+    store_dir:
+        Optional directory for the durable plan store.  When set, every
+        scheduled request is journaled and its sessions snapshotted
+        (:class:`~repro.persist.store.PlanStore`), making the service
+        crash-safe: :meth:`recover` resubmits whatever was in flight when
+        a previous process died, finished requests answer straight from
+        disk, and a later :meth:`submit` with a raised ``total_epochs``
+        continues from the journaled rungs.
     """
 
     def __init__(
@@ -105,6 +114,7 @@ class SelectionService:
         parallel: ExecutorLike = None,
         scheduler: Optional[SchedulerConfig] = None,
         seed: int = 0,
+        store_dir: Optional[str] = None,
     ) -> None:
         self.artifacts = artifacts
         if parallel is None:
@@ -123,6 +133,7 @@ class SelectionService:
         self._seed = int(seed)
         self._scheduler_config = scheduler or SchedulerConfig()
         self._scheduler: Optional[EpochScheduler] = None
+        self._persist = PlanStore(store_dir) if store_dir is not None else None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -138,6 +149,7 @@ class SelectionService:
         parallel: ExecutorLike = None,
         scheduler: Optional[SchedulerConfig] = None,
         seed: int = 0,
+        store_dir: Optional[str] = None,
     ) -> "SelectionService":
         """Run the offline phase for ``hub`` and wrap it in a service."""
         artifacts = OfflineArtifacts.build(
@@ -149,6 +161,7 @@ class SelectionService:
             parallel=parallel,
             scheduler=scheduler,
             seed=seed,
+            store_dir=store_dir,
         )
 
     @classmethod
@@ -162,6 +175,7 @@ class SelectionService:
         config: Optional[PipelineConfig] = None,
         parallel: ExecutorLike = None,
         scheduler: Optional[SchedulerConfig] = None,
+        store_dir: Optional[str] = None,
     ) -> "SelectionService":
         """Build the simulated repository for ``modality`` and serve it.
 
@@ -178,7 +192,7 @@ class SelectionService:
         config = config or PipelineConfig.for_modality(modality)
         return cls.from_hub(
             hub, suite, config=config, parallel=parallel, scheduler=scheduler,
-            seed=seed,
+            seed=seed, store_dir=store_dir,
         )
 
     # ------------------------------------------------------------------ #
@@ -249,6 +263,7 @@ class SelectionService:
                     parallel=self._executor,
                     pool=SessionPool(self._selector.fine_tuner),
                     on_complete=self._on_request_complete,
+                    persist=self._persist,
                 )
                 self._scheduler.start()
             return self._scheduler
@@ -260,13 +275,17 @@ class SelectionService:
         top_k: Optional[int] = None,
         timeout: Optional[float] = None,
         epoch_quota: Optional[int] = None,
+        total_epochs: Optional[int] = None,
     ) -> SelectionRequest:
         """Enqueue a request with the epoch scheduler; return its handle.
 
         The request trains cooperatively with every other in-flight
         request (fair-share or deadline order, shared epoch budget and
         session pool) and its result is bitwise-identical to
-        :meth:`select`.  Raises
+        :meth:`select`.  ``total_epochs`` overrides this request's fine
+        selection budget (the raise-budget verb — with a plan store, a
+        finished request resubmitted under a larger budget continues from
+        its journaled rungs).  Raises
         :class:`~repro.utils.exceptions.QueueFullError` when the bounded
         admission queue rejects the request (backpressure); ``timeout``
         and ``epoch_quota`` bound the request's wall time and charged
@@ -274,12 +293,31 @@ class SelectionService:
         :class:`~repro.utils.exceptions.BudgetExhaustedError`).
         """
         return self._ensure_scheduler().submit(
-            target, top_k=top_k, timeout=timeout, epoch_quota=epoch_quota
+            target,
+            top_k=top_k,
+            timeout=timeout,
+            epoch_quota=epoch_quota,
+            total_epochs=total_epochs,
         )
 
-    def poll(self, request: SelectionRequest) -> Dict[str, object]:
-        """Progress snapshot of a submitted request (per-stage detail)."""
-        return self._ensure_scheduler().poll(request)
+    def poll(self, request: SelectionRequest, *, best: bool = False) -> Dict[str, object]:
+        """Progress snapshot of a submitted request (per-stage detail).
+
+        ``best=True`` adds the anytime answer: the confidence-ordered
+        current-best candidates of the still-running plan.
+        """
+        return self._ensure_scheduler().poll(request, best=best)
+
+    def recover(self) -> List[SelectionRequest]:
+        """Resubmit journaled requests a previous process left unfinished.
+
+        Requires the service to have a plan store (``store_dir``); returns
+        the new handles (empty without a store, or when nothing was in
+        flight).  Resumed requests replay their journals — recall skipped,
+        recorded steps completed from session snapshots without
+        retraining — and then train only what was never journaled.
+        """
+        return self._ensure_scheduler().recover()
 
     def result(
         self, request: SelectionRequest, timeout: Optional[float] = None
@@ -354,6 +392,13 @@ class SelectionService:
             )
             if scheduler is not None and old_version is not None:
                 scheduler.pool.evict_version(old_version.key)
+            if self._persist is not None and old_version is not None:
+                # Journals and snapshots of the superseded version could
+                # never be resumed (recovery checks the version key), so
+                # reclaim their disk space as part of the same sweep.
+                result.evicted_entries += self._persist.evict_version(
+                    old_version.key
+                )
         return result
 
     # ------------------------------------------------------------------ #

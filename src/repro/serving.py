@@ -8,8 +8,16 @@ epoch scheduler.  One request or response per line:
 * ``{"op": "select", "target": "mnli", "id": "r1", "top_k": 4}`` —
   submit a request; answered immediately with an ``accepted`` event, then
   asynchronously with ``progress`` events as stages complete and finally a
-  ``result`` (or ``failed``) event.
-* ``{"op": "poll", "id": "r1"}`` — progress snapshot of one request.
+  ``result`` (or ``failed``) event.  With ``"total_epochs"`` (alias
+  ``"raise_budget"``) the request runs under a larger fine-selection
+  budget — against a plan store this continues a finished request from its
+  journaled rungs instead of restarting it.
+* ``{"op": "poll", "id": "r1"}`` — progress snapshot of one request;
+  ``"best": true`` adds the anytime answer (current best candidate with
+  confidence ordering) while the request is still training.
+* ``{"op": "resume"}`` — resubmit journaled requests a crashed process
+  left unfinished (requires ``--store-dir``); the recovered handles are
+  tracked like fresh submissions and stream the usual events.
 * ``{"op": "stats"}`` — service counters (scheduler + session pool included).
 * ``{"op": "shutdown"}`` — drain outstanding requests and stop serving.
 
@@ -80,9 +88,32 @@ class ServeFrontEnd:
     session pool.
     """
 
-    def __init__(self, service, *, default_timeout: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        service,
+        *,
+        default_timeout: Optional[float] = None,
+        recover: bool = False,
+    ) -> None:
         self.service = service
         self.default_timeout = default_timeout
+        self._recover_lock = threading.Lock()
+        #: Handles recovered at startup, waiting for the first stream to
+        #: adopt them (so their result/failed events reach a client).
+        self._startup_recovered = list(service.recover()) if recover else []
+
+    def _adopt_recovered(self, emitter: "_EventEmitter") -> None:
+        """Hand startup-recovered handles to the first connected stream."""
+        with self._recover_lock:
+            handles, self._startup_recovered = self._startup_recovered, []
+        for handle in handles:
+            emitter.track(f"recovered-{handle.id}", handle)
+
+    @property
+    def recovered_count(self) -> int:
+        """Startup-recovered requests not yet adopted by a stream."""
+        with self._recover_lock:
+            return len(self._startup_recovered)
 
     # ------------------------------------------------------------------ #
     # stdin/stdout mode
@@ -96,6 +127,7 @@ class ServeFrontEnd:
         """
         emitter = _EventEmitter(self, out)
         emitter.start()
+        self._adopt_recovered(emitter)
         try:
             for line in lines:
                 line = line.strip()
@@ -124,7 +156,9 @@ class ServeFrontEnd:
             if op == "select":
                 return self._handle_select(message, emitter)
             if op == "poll":
-                return self._handle_poll(request_id, emitter)
+                return self._handle_poll(message, emitter)
+            if op == "resume":
+                return self._handle_resume(request_id, emitter)
             if op == "stats":
                 payload = {"event": "stats", "stats": self.service.stats()}
                 if request_id is not None:
@@ -149,27 +183,50 @@ class ServeFrontEnd:
         if not isinstance(target, str) or not target:
             return {"event": "error", "id": message.get("id"),
                     "message": "select needs a 'target' string"}
+        total_epochs = message.get("total_epochs", message.get("raise_budget"))
         handle = self.service.submit(
             target,
             top_k=message.get("top_k"),
             timeout=message.get("timeout", self.default_timeout),
             epoch_quota=message.get("epoch_quota"),
+            total_epochs=total_epochs,
         )
         request_id = message.get("id", f"req-{handle.id}")
         emitter.track(request_id, handle)
         return {"event": "accepted", "id": request_id, "target": target,
                 "request": handle.id}
 
-    def _handle_poll(self, request_id, emitter: "_EventEmitter") -> Dict:
+    def _handle_poll(self, message: Dict, emitter: "_EventEmitter") -> Dict:
+        request_id = message.get("id")
         handle = emitter.tracked(request_id)
         if handle is None:
             return {"event": "error", "id": request_id,
                     "message": f"unknown request id {request_id!r}"}
-        snapshot = self.service.poll(handle)
+        snapshot = self.service.poll(handle, best=bool(message.get("best")))
         # The scheduler's numeric id moves to "request"; "id" stays the
         # client-chosen correlation id.
         snapshot["request"] = snapshot.pop("id", None)
         return {"event": "status", "id": request_id, **snapshot}
+
+    def _handle_resume(self, request_id, emitter: "_EventEmitter") -> Dict:
+        """Recover journaled in-flight requests and track them here."""
+        self._adopt_recovered(emitter)  # startup recoveries join this stream
+        handles = self.service.recover()
+        entries = []
+        for handle in handles:
+            rid = f"recovered-{handle.id}"
+            emitter.track(rid, handle)
+            entries.append(
+                {"id": rid, "target": handle.target_name, "request": handle.id}
+            )
+        payload: Dict[str, object] = {
+            "event": "recovered",
+            "count": len(entries),
+            "requests": entries,
+        }
+        if request_id is not None:
+            payload["id"] = request_id
+        return payload
 
     # ------------------------------------------------------------------ #
     # TCP mode
@@ -188,6 +245,7 @@ class ServeFrontEnd:
                 out = _SocketWriter(self.wfile)
                 emitter = _EventEmitter(front, out)
                 emitter.start()
+                front._adopt_recovered(emitter)
                 try:
                     for raw in self.rfile:
                         line = raw.decode("utf-8").strip()

@@ -263,3 +263,58 @@ class TestDiskTierEdgeCases:
         assert cache.get("proxy:x") is None
         cache.put("proxy:x", 0.25)
         assert cache.get("proxy:x") == 0.25
+
+
+class TestTempFileSweep:
+    """Orphaned-writer cleanup: a killed publisher must never leak or corrupt."""
+
+    @staticmethod
+    def _dead_pid():
+        """A pid guaranteed to name no live process (spawned, exited, reaped)."""
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_startup_sweep_removes_dead_writer_temp_files(self, tmp_path):
+        dead = self._dead_pid()
+        orphan = tmp_path / f"sim_k_5_abc.npy.tmp-{dead}-140210"
+        orphan.write_bytes(b"half-written")
+        cache = DiskCache(tmp_path)
+        assert cache.swept_temp_files == 1
+        assert not orphan.exists()
+
+    def test_live_writer_temp_files_are_spared(self, tmp_path):
+        import os
+
+        ours = tmp_path / f"sim_k_5_abc.npy.tmp-{os.getpid()}-140210"
+        ours.write_bytes(b"mid-publish")
+        cache = DiskCache(tmp_path)
+        assert cache.swept_temp_files == 0
+        assert ours.exists()
+
+    def test_non_temp_files_are_never_swept(self, tmp_path):
+        dead = self._dead_pid()
+        cache = DiskCache(tmp_path)
+        cache.put("proxy:x", 0.5)
+        published = list(tmp_path.glob("*.json"))
+        stale = tmp_path / f"proxy_y.json.tmp-{dead}-9"
+        stale.write_bytes(b"")
+        assert DiskCache(tmp_path).swept_temp_files == 1
+        assert all(path.exists() for path in published)
+
+    def test_killed_writer_never_corrupts_reader(self, tmp_path):
+        """The published value survives a writer killed mid-publish."""
+        import numpy as np
+
+        cache = DiskCache(tmp_path)
+        cache.put("sim:k=5:abc", np.full(4, 2.0))
+        path = next(tmp_path.glob("*.npy"))
+        # A writer died after writing its temp file but before os.replace.
+        dead = self._dead_pid()
+        (tmp_path / f"{path.name}.tmp-{dead}-7").write_bytes(b"\x00garbage")
+        reopened = DiskCache(tmp_path)
+        assert reopened.swept_temp_files == 1
+        assert np.array_equal(reopened.get("sim:k=5:abc"), np.full(4, 2.0))

@@ -133,6 +133,8 @@ def _preamble(path: pathlib.Path, tmp_path) -> Dict[str, object]:
     if path.name == "parallelism.md":
         suite = WorkloadSuite("nlp", seed=0, scale=DataScale.small())
         return {"suite": suite, "hub": ModelHub(suite, seed=0)}
+    if path.name == "persistence.md":
+        return {"store_dir": str(tmp_path / "plan-store")}
     return {}
 
 

@@ -1,0 +1,252 @@
+"""Reusable crash/fault-injection harness for the persistence tier.
+
+Two modes, matching the two crash models worth testing:
+
+**In-process** — :func:`crash_at` installs a hook at a named crash site
+(see :mod:`repro.persist.hooks`) that raises
+:class:`~repro.persist.SimulatedCrash` on the N-th hit, simulating a
+process that dies at exactly that durability boundary.  :func:`counting`
+measures how many times a site fires during a clean run, which is how the
+exhaustive suite enumerates *every* step boundary before killing at each
+one in turn.
+
+**Subprocess** — :class:`ServeProcess` drives a real ``python -m repro
+serve`` process over its TCP JSON protocol and kills it for real: either
+with ``SIGKILL`` from outside (arbitrary timing), or deterministically at
+a named boundary via the ``REPRO_CRASH_SITE``/``REPRO_CRASH_AT``
+environment failpoint (``os._exit(137)`` inside the child, which skips
+every ``finally``/``atexit``/flush exactly like a kill).
+
+The harness is deliberately free of assertions — tests compose these
+primitives with their own oracles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+import repro
+from repro.persist import SimulatedCrash, install_hook, remove_hook
+
+#: Every named crash site the persistence path declares.
+CRASH_SITES = ("plan.step", "journal.append", "journal.flush", "publish")
+
+#: Exit status of the environment failpoint (mirrors a SIGKILL's 128+9).
+FAILPOINT_EXIT_CODE = 137
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+class CrashState:
+    """Hit counter shared between a hook and the test that installed it."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.crashed = False
+        self.infos: List[Dict[str, object]] = []
+
+
+@contextmanager
+def counting(site: str) -> Iterator[CrashState]:
+    """Count the firings of ``site`` during the block (no crash)."""
+    state = CrashState()
+
+    def _hook(_site: str, info: Dict[str, object]) -> None:
+        state.hits += 1
+        state.infos.append(dict(info))
+
+    install_hook(site, _hook)
+    try:
+        yield state
+    finally:
+        remove_hook(site)
+
+
+@contextmanager
+def crash_at(site: str, ordinal: int) -> Iterator[CrashState]:
+    """Raise :class:`SimulatedCrash` on the ``ordinal``-th hit of ``site``."""
+    state = CrashState()
+
+    def _hook(_site: str, info: Dict[str, object]) -> None:
+        state.hits += 1
+        state.infos.append(dict(info))
+        if state.hits == ordinal:
+            state.crashed = True
+            raise SimulatedCrash(f"{site}#{ordinal}")
+
+    install_hook(site, _hook)
+    try:
+        yield state
+    finally:
+        remove_hook(site)
+
+
+def assert_bitwise_equal(result, serial) -> None:
+    """Full structural equality of two TwoPhaseResult records.
+
+    Same contract as the property tier's helper: winner, stage records,
+    validation scores, recall scores and costs must match exactly — float
+    equality, not approximate (the resume path must be *bitwise* safe).
+    """
+    assert result.selected_model == serial.selected_model
+    assert result.selected_accuracy == serial.selected_accuracy
+    assert (
+        result.selection.selected_val_accuracy
+        == serial.selection.selected_val_accuracy
+    )
+    assert result.selection.runtime_epochs == serial.selection.runtime_epochs
+    assert result.selection.num_candidates == serial.selection.num_candidates
+    assert result.selection.stages == serial.selection.stages
+    assert result.selection.final_accuracies == serial.selection.final_accuracies
+    assert result.recall.recalled_models == serial.recall.recalled_models
+    assert result.recall.recall_scores == serial.recall.recall_scores
+    assert result.recall.epoch_cost == serial.recall.epoch_cost
+    assert result.total_cost == serial.total_cost
+
+
+# --------------------------------------------------------------------------- #
+# subprocess mode
+# --------------------------------------------------------------------------- #
+class ServeProcess:
+    """One real ``python -m repro serve --port 0`` process plus a TCP client.
+
+    Parameters
+    ----------
+    store_dir:
+        The ``--store-dir`` plan-journal directory (shared across restarts
+        — that sharing *is* the crash-safety under test).
+    crash_site / crash_ordinal:
+        When given, arm the child's environment failpoint: the process
+        hard-exits with :data:`FAILPOINT_EXIT_CODE` at the N-th hit of the
+        named site.
+    num_models:
+        ``--num-models`` of the reduced NLP hub (keeps startup fast).
+    """
+
+    def __init__(
+        self,
+        store_dir: Path,
+        *,
+        num_models: int = 8,
+        crash_site: Optional[str] = None,
+        crash_ordinal: int = 1,
+        timeout: float = 120.0,
+        extra_args: tuple = (),
+    ) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        if crash_site is not None:
+            env["REPRO_CRASH_SITE"] = crash_site
+            env["REPRO_CRASH_AT"] = str(crash_ordinal)
+        else:
+            env.pop("REPRO_CRASH_SITE", None)
+            env.pop("REPRO_CRASH_AT", None)
+        self.timeout = timeout
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--modality", "nlp", "--scale", "small",
+                "--num-models", str(num_models),
+                "--store-dir", str(store_dir),
+                "--port", "0",
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        banner_line = self.proc.stdout.readline()
+        if not banner_line:
+            raise RuntimeError(
+                "serve process died before its banner: "
+                + (self.proc.stderr.read() or "")[-2000:]
+            )
+        self.banner = json.loads(banner_line)
+        self.sock = socket.create_connection(
+            ("127.0.0.1", self.banner["port"]), timeout=timeout
+        )
+        self.sock.settimeout(timeout)
+        self._reader = self.sock.makefile("r", encoding="utf-8")
+        #: Events read but not yet claimed by a wait_for call — protocol
+        #: events are asynchronous, so an answer a test has not asked for
+        #: yet must not be lost while waiting for another.
+        self._pending: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    def send(self, payload: Dict[str, object]) -> None:
+        """Write one protocol line to the server."""
+        self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+
+    def next_event(self) -> Dict[str, object]:
+        """Blocking read of the next protocol event (EOF -> RuntimeError)."""
+        line = self._reader.readline()
+        if not line:
+            raise RuntimeError("server connection closed")
+        return json.loads(line)
+
+    def wait_for(self, event: str, *, id=None) -> Dict[str, object]:
+        """Read events until one matches ``event`` (and ``id`` when given).
+
+        Non-matching events are buffered, not discarded — a later
+        ``wait_for`` can still claim an answer that arrived early.
+        ``failed`` events for the awaited id raise immediately instead of
+        hanging until the socket timeout.
+        """
+
+        def matches(message: Dict[str, object]) -> bool:
+            return message.get("event") == event and (
+                id is None or message.get("id") == id
+            )
+
+        for index, message in enumerate(self._pending):
+            if matches(message):
+                return self._pending.pop(index)
+        deadline = time.monotonic() + self.timeout
+        while time.monotonic() < deadline:
+            message = self.next_event()
+            if matches(message):
+                return message
+            if message.get("event") == "failed" and message.get("id") == id:
+                raise RuntimeError(f"request {id} failed: {message}")
+            if message.get("event") not in ("progress",):
+                self._pending.append(message)
+        raise TimeoutError(f"no {event!r} event within {self.timeout}s")
+
+    # ------------------------------------------------------------------ #
+    def kill(self) -> int:
+        """SIGKILL the process (the real crash model); returns exit status."""
+        self.proc.kill()
+        return self.proc.wait(timeout=30)
+
+    def wait_dead(self) -> int:
+        """Wait for the process to die on its own (armed failpoint mode)."""
+        return self.proc.wait(timeout=self.timeout)
+
+    def close(self) -> None:
+        """Best-effort clean shutdown of both socket and process."""
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+    def __enter__(self) -> "ServeProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""Real-process crash tests: kill ``python -m repro serve``, restart, resume.
+
+The in-process suites prove every boundary; this one proves the claim
+holds for an actual operating-system process — spawned fresh, killed
+without warning (``SIGKILL`` or the ``os._exit`` failpoint, neither of
+which runs any Python cleanup), restarted against the same ``--store-dir``
+— and that the recovered answer matches a server that never crashed.
+"""
+
+import pytest
+
+from harness import FAILPOINT_EXIT_CODE, ServeProcess
+
+TARGET, TOP_K = "mnli", 5
+
+#: Event fields that legitimately differ between runs.
+VOLATILE = ("id", "latency_seconds")
+
+
+def reference_payload(tmp_path):
+    """Result payload of one clean, never-crashed serve run."""
+    with ServeProcess(tmp_path / "reference-store") as serve:
+        serve.send({"op": "select", "target": TARGET, "top_k": TOP_K, "id": "ref"})
+        serve.wait_for("accepted", id="ref")
+        result = serve.wait_for("result", id="ref")
+        serve.send({"op": "shutdown"})
+    return {k: v for k, v in result.items() if k not in VOLATILE}
+
+
+class TestServeProcessCrash:
+    def test_failpoint_kill_then_restart_recovers_result(self, tmp_path):
+        reference = reference_payload(tmp_path)
+        store = tmp_path / "store"
+
+        # Lifetime 1: dies via os._exit at the 4th step boundary.
+        crashed = ServeProcess(store, crash_site="plan.step", crash_ordinal=4)
+        with crashed:
+            crashed.send(
+                {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "req"}
+            )
+            crashed.wait_for("accepted", id="req")
+            assert crashed.wait_dead() == FAILPOINT_EXIT_CODE
+
+        # Lifetime 2: same store, no failpoint; startup recovery resumes
+        # the journaled request and streams its result unprompted.
+        with ServeProcess(store) as restarted:
+            assert restarted.banner["recovered"] == 1
+            result = restarted.wait_for("result")
+            assert str(result["id"]).startswith("recovered-")
+            payload = {k: v for k, v in result.items() if k not in VOLATILE}
+            assert payload == reference
+
+            # The journaled result now serves resubmissions instantly.
+            restarted.send(
+                {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "again"}
+            )
+            restarted.wait_for("accepted", id="again")
+            again = restarted.wait_for("result", id="again")
+            assert {k: v for k, v in again.items() if k not in VOLATILE} == reference
+            restarted.send({"op": "shutdown"})
+
+    def test_sigkill_then_restart_converges(self, tmp_path):
+        """SIGKILL at arbitrary timing: whatever was or wasn't journaled,
+        the restarted server ends up with the reference answer."""
+        reference = reference_payload(tmp_path)
+        store = tmp_path / "store-sigkill"
+
+        victim = ServeProcess(store)
+        with victim:
+            victim.send(
+                {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "req"}
+            )
+            # Kill without waiting: the request may be anywhere between
+            # queued and completed — every state must be recoverable.
+            status = victim.kill()
+            assert status != 0
+
+        with ServeProcess(store) as restarted:
+            assert restarted.banner["recovered"] in (0, 1)
+            if restarted.banner["recovered"]:
+                result = restarted.wait_for("result")
+                assert {k: v for k, v in result.items() if k not in VOLATILE} == reference
+            restarted.send(
+                {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "fresh"}
+            )
+            restarted.wait_for("accepted", id="fresh")
+            fresh = restarted.wait_for("result", id="fresh")
+            assert {k: v for k, v in fresh.items() if k not in VOLATILE} == reference
+            restarted.send({"op": "shutdown"})
+
+    def test_resume_verb_reports_recovered_requests(self, tmp_path):
+        store = tmp_path / "store-resume"
+        crashed = ServeProcess(store, crash_site="plan.step", crash_ordinal=2)
+        with crashed:
+            crashed.send(
+                {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "req"}
+            )
+            crashed.wait_for("accepted", id="req")
+            assert crashed.wait_dead() == FAILPOINT_EXIT_CODE
+
+        # A client can also drive recovery explicitly with the resume verb
+        # (idempotent: the second call finds nothing new in flight).
+        with ServeProcess(store) as restarted:
+            restarted.send({"op": "resume", "id": "r1"})
+            recovered = restarted.wait_for("recovered", id="r1")
+            # Startup recovery (banner) may have adopted the request
+            # already; between it and the verb, exactly one recovery ran.
+            total = restarted.banner["recovered"] + recovered["count"]
+            assert total == 1
+            restarted.wait_for("result")
+            restarted.send({"op": "resume", "id": "r2"})
+            again = restarted.wait_for("recovered", id="r2")
+            assert again["count"] == 0
+            restarted.send({"op": "shutdown"})
