@@ -2,20 +2,21 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-fault test-all ci ci-full docs-check docs-api \
-        docs-api-check bench-parallel bench-incremental bench-similarity \
-        bench-ooc bench-smoke bench-concurrent bench-concurrent-smoke \
-        bench-resume examples
+.PHONY: test test-fast test-fault test-distrib test-all ci ci-full \
+        docs-check docs-api docs-api-check bench-parallel bench-incremental \
+        bench-similarity bench-ooc bench-smoke bench-concurrent \
+        bench-concurrent-smoke bench-resume bench-distrib \
+        bench-distrib-smoke examples
 
 # Tier-1 verify: the full suite (what CI runs on main).
 test:
 	$(PY) -m pytest -x -q
 
 # Fast tier: skips the randomized property suite, the golden experiment
-# snapshots, the crash-injection tier and slow integration runs — the loop
-# for every-change CI.
+# snapshots, the crash-injection tier, the multi-process routed tier and
+# slow integration runs — the loop for every-change CI.
 test-fast:
-	$(PY) -m pytest -x -q -m "not slow and not property and not golden and not faultinject"
+	$(PY) -m pytest -x -q -m "not slow and not property and not golden and not faultinject and not distrib"
 
 # Fault tier: the crash/fault-injection suite (kill at every durability
 # boundary, corrupt journals, SIGKILL real serve processes) plus the
@@ -23,6 +24,12 @@ test-fast:
 # wedged recovery path must fail fast, not hang a runner.
 test-fault:
 	$(PY) -m pytest -x -q tests/faultinject tests/property/test_property_resume.py
+
+# Routed tier: protocol conformance against both deployment shapes, the
+# SIGKILL-a-worker chaos suite and multi-tenant brownout — real router +
+# worker processes throughout, so it gets its own CI job and timeout.
+test-distrib:
+	$(PY) -m pytest -x -q tests/distrib
 
 # Full tier: everything, including the slow examples.
 test-all:
@@ -33,7 +40,7 @@ test-all:
 # concurrent-selection scheduler (serial==scheduled equivalence plus a
 # relaxed throughput gate at small n) and verifies the generated API
 # reference is current.
-ci: test-fast bench-smoke bench-concurrent-smoke docs-api-check
+ci: test-fast bench-smoke bench-concurrent-smoke bench-distrib-smoke docs-api-check
 
 ci-full: test-all docs-check
 
@@ -82,6 +89,16 @@ bench-concurrent-smoke:
 # raised budget pays only the delta.
 bench-resume:
 	$(PY) benchmarks/bench_resume.py --json-out benchmarks/bench_resume.json
+
+# Routed serving tier: router overhead vs the single process (<= 1.25x on
+# one CPU, bitwise-identical results), 2-worker scaling (gated only on
+# multi-CPU hosts) and the saturation brownout probe (structured
+# queue_full, bounded rejection latency).
+bench-distrib:
+	$(PY) benchmarks/bench_distributed_serving.py --json-out benchmarks/bench_distributed_serving.json
+
+bench-distrib-smoke:
+	$(PY) benchmarks/bench_distributed_serving.py --smoke
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

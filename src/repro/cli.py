@@ -282,16 +282,25 @@ def _cmd_batch(args: argparse.Namespace, stream) -> int:
 
 def _cmd_serve(args: argparse.Namespace, stream) -> int:
     """Long-lived JSON front-end over the service's epoch scheduler."""
+    from repro.distrib.worker import arm_parent_watchdog_from_env
     from repro.persist.hooks import arm_exit_from_env
-    from repro.serving import ServeFrontEnd
 
     # Fault-injection seam: REPRO_CRASH_SITE hard-kills this process at a
     # named persistence boundary (see tests/faultinject/harness.py).
     arm_exit_from_env()
+    # Routed-worker seam: REPRO_PARENT_PID hard-exits this process once
+    # its supervising router is gone (see repro.distrib.worker).
+    arm_parent_watchdog_from_env()
+    if args.workers is not None:
+        return _cmd_serve_routed(args, stream)
+    from repro.serving import ServeFrontEnd
+
     service = _build_service(args)
+    recover = args.store_dir is not None and not args.no_recover
     front = ServeFrontEnd(service, default_timeout=args.timeout,
-                          recover=args.store_dir is not None)
+                          recover=recover)
     config = service._scheduler_config
+    version = service.artifacts.version
     banner = {
         "event": "serving",
         "modality": args.modality,
@@ -300,10 +309,14 @@ def _cmd_serve(args: argparse.Namespace, stream) -> int:
         "max_concurrent": config.max_concurrent,
         "epoch_budget": config.epoch_budget,
         "max_queue": config.max_queue,
+        "zoo_version": version.key if version is not None else "v0",
     }
     if args.store_dir is not None:
+        from repro.persist import store_summary
+
         banner["store_dir"] = args.store_dir
         banner["recovered"] = front.recovered_count
+        banner["store"] = store_summary(service._persist)
     if args.port is not None:
         server = front.serve_tcp(args.host, args.port)
         banner["port"] = server.server_address[1]
@@ -322,6 +335,107 @@ def _cmd_serve(args: argparse.Namespace, stream) -> int:
     print(file=stream, flush=True)
     code = front.serve_stream(sys.stdin, stream)
     service.close()
+    return code
+
+
+def _cmd_serve_routed(args: argparse.Namespace, stream) -> int:
+    """Routed serving: a consistent-hash router over N worker processes.
+
+    Same protocol, same banner contract (``event: serving`` then JSON
+    lines), but selections are sharded over ``--workers`` processes that
+    the supervisor heartbeats and restarts; see ``docs/distributed.md``.
+    """
+    import os
+    import signal
+
+    from repro.distrib import RouterFrontEnd, TenantPolicy, WorkerSupervisor
+    from repro.distrib.worker import worker_argv
+
+    def argv_for(name: str, *, restart: bool) -> list:
+        # Supervisor restarts suppress worker-side startup recovery: the
+        # router resubmits the dead worker's in-flight requests itself.
+        return worker_argv(
+            name,
+            modality=args.modality,
+            scale=args.scale,
+            seed=args.seed,
+            num_models=args.num_models,
+            max_concurrent=args.max_concurrent,
+            epoch_budget=args.epoch_budget,
+            max_queue=args.max_queue,
+            policy=args.policy,
+            timeout=args.timeout,
+            store_root=args.store_dir,
+            recover=not restart and not args.no_recover,
+        )
+
+    log_dir = (
+        os.path.join(args.store_dir, "logs") if args.store_dir is not None
+        else None
+    )
+    names = [f"w{index}" for index in range(args.workers)]
+    supervisor = WorkerSupervisor(names, argv_for, log_dir=log_dir)
+    supervisor.start()
+    policy = TenantPolicy(
+        max_inflight=args.max_inflight,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_quota=args.tenant_quota,
+    )
+    try:
+        front = RouterFrontEnd(supervisor, policy=policy)
+    except Exception:
+        supervisor.stop()
+        raise
+    banner = {
+        "event": "serving",
+        "modality": args.modality,
+        "num_models": front.num_models,
+        "policy": args.policy,
+        "max_concurrent": args.max_concurrent,
+        "epoch_budget": args.epoch_budget,
+        "max_queue": args.max_queue,
+        "zoo_version": front.version_key,
+        "workers": front.worker_summaries(),
+        "max_inflight": args.max_inflight,
+        "recovered": front.recovered_count,
+    }
+    if args.store_dir is not None:
+        banner["store_dir"] = args.store_dir
+
+    def _terminate(signum, frame):  # noqa: ARG001 — signal signature
+        # The deployment contract: SIGTERM to the router kills the whole
+        # fleet (the per-worker parent watchdog is only the backstop).
+        supervisor.stop()
+        os._exit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread (in-process tests); watchdog covers us
+
+    if args.port is not None:
+        server = front.serve_tcp(args.host, args.port)
+        banner["port"] = server.server_address[1]
+        json.dump(banner, stream)
+        print(file=stream, flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+            front.close()
+            supervisor.stop()
+        return 0
+    json.dump(banner, stream)
+    print(file=stream, flush=True)
+    try:
+        code = front.serve_stream(sys.stdin, stream)
+    finally:
+        front.close()
+        supervisor.stop()
     return code
 
 
@@ -680,6 +794,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable plan-journal directory: every request is journaled "
         "under DIR, interrupted requests are recovered on startup, and "
         "clients may use the resume/anytime protocol verbs",
+    )
+    serve.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="with --store-dir: skip startup journal recovery (used by "
+        "the routed tier for supervisor restarts, where the router "
+        "resubmits in-flight requests itself)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="serve through a consistent-hash router over N worker "
+        "processes (same protocol; workers are heartbeated and "
+        "restarted on failure — see docs/distributed.md)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help="with --workers: router-wide bound on requests in flight; "
+        "excess submissions fail fast with queue_full (default: 32)",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=_positive_float,
+        default=None,
+        metavar="PER_SECOND",
+        help="with --workers: per-tenant admission rate (token bucket); "
+        "excess submissions fail fast with rate_limited",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="with --workers: token-bucket burst of --tenant-rate "
+        "(default: 4)",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=_positive_float,
+        default=None,
+        metavar="EPOCHS",
+        help="with --workers: cumulative fine-tuning epoch quota per "
+        "tenant; once exhausted submissions fail with budget_exhausted",
     )
     serve.set_defaults(handler=_cmd_serve)
 

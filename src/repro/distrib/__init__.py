@@ -1,0 +1,56 @@
+"""Multi-replica serving tier: a consistent-hash router over N workers.
+
+``python -m repro serve --workers N`` boots this package instead of a
+single :class:`~repro.serving.ServeFrontEnd`:
+
+* :mod:`repro.distrib.ring` — deterministic SHA-256 consistent hashing
+  of ``(zoo_version, target)`` routing keys onto worker names, so equal
+  targets co-locate and warm sessions survive sharding;
+* :mod:`repro.distrib.worker` — the serve argv and per-worker plan-store
+  slice of one worker process, plus the reparenting watchdog that keeps
+  killed deployments from leaking workers;
+* :mod:`repro.distrib.supervisor` — spawns the fleet, heartbeats it
+  (process polls + TCP pings), and restarts dead workers with journal
+  recovery suppressed (the router resubmits in-flight work itself);
+* :mod:`repro.distrib.router` — the protocol-transparent front end:
+  relays the JSON-lines serve protocol between clients and workers,
+  heals worker death by resubmitting over replayed journals, applies
+  zero-downtime zoo refreshes, and enforces multi-tenant admission with
+  structured brownout errors;
+* :mod:`repro.distrib.wire` — the shared JSON-lines TCP primitives
+  (retry-until-ready connects, locked line sends, one-shot pings).
+
+See ``docs/distributed.md`` for topology, failure semantics and tuning.
+"""
+
+from repro.distrib.ring import HashRing, route_key
+from repro.distrib.router import (
+    AdmissionController,
+    RouterFrontEnd,
+    TenantPolicy,
+)
+from repro.distrib.supervisor import WorkerHandle, WorkerSupervisor
+from repro.distrib.wire import JsonLinesConnection, connect_with_retry, ping
+from repro.distrib.worker import (
+    PARENT_PID_ENV,
+    arm_parent_watchdog_from_env,
+    worker_argv,
+    worker_store_dir,
+)
+
+__all__ = [
+    "AdmissionController",
+    "HashRing",
+    "JsonLinesConnection",
+    "PARENT_PID_ENV",
+    "RouterFrontEnd",
+    "TenantPolicy",
+    "WorkerHandle",
+    "WorkerSupervisor",
+    "arm_parent_watchdog_from_env",
+    "connect_with_retry",
+    "ping",
+    "route_key",
+    "worker_argv",
+    "worker_store_dir",
+]

@@ -1,0 +1,120 @@
+"""Worker-side plumbing of the routed serving tier.
+
+A *worker* is simply ``python -m repro serve --port 0`` — the exact
+single-process front-end clients already speak — plus two pieces of
+routed-tier glue that live here:
+
+* :func:`worker_argv` builds the serve command line for one named worker:
+  the shared modality/scale/seed/scheduler flags, a free TCP port, and a
+  per-worker plan-store slice (``<root>/workers/<name>``) so journals
+  written by worker ``w3`` are found by the *next* ``w3`` — routing is
+  deterministic, so the replacement worker of the same name receives the
+  same targets and can replay its predecessor's journals.
+* :func:`arm_parent_watchdog_from_env` keeps SIGKILLed deployments from
+  leaking processes: the router exports ``REPRO_PARENT_PID`` into each
+  worker, and a daemon thread inside the worker hard-exits the moment it
+  finds itself reparented (its supervisor died without cleanup, so nobody
+  will ever route to it again).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import List, Optional
+
+#: Environment variable carrying the supervising router's PID.
+PARENT_PID_ENV = "REPRO_PARENT_PID"
+
+#: Seconds between reparenting checks of the watchdog thread.  Kept short:
+#: after a router SIGKILL this bounds how long an orphaned worker may keep
+#: appending to its journal slice before the replacement deployment reads it.
+_WATCHDOG_INTERVAL = 0.5
+
+
+def worker_store_dir(store_root: Optional[str], name: str) -> Optional[str]:
+    """Plan-store slice of worker ``name`` under the deployment's root."""
+    if store_root is None:
+        return None
+    return str(Path(store_root) / "workers" / name)
+
+
+def worker_argv(
+    name: str,
+    *,
+    modality: str,
+    scale: str,
+    seed: int,
+    num_models: Optional[int] = None,
+    max_concurrent: int = 4,
+    epoch_budget: int = 8,
+    max_queue: int = 64,
+    policy: str = "fair_share",
+    timeout: Optional[float] = None,
+    store_root: Optional[str] = None,
+    recover: bool = True,
+) -> List[str]:
+    """Serve command line of one worker process.
+
+    ``recover=False`` (used for supervisor *restarts*) suppresses the
+    worker's own startup recovery: the router resubmits the dead worker's
+    in-flight requests itself, and journal replay inside the scheduler
+    restores their charged steps — a second, unsolicited recovery would
+    duplicate every event stream.
+    """
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--modality", modality,
+        "--scale", scale,
+        "--seed", str(seed),
+        "--max-concurrent", str(max_concurrent),
+        "--epoch-budget", str(epoch_budget),
+        "--max-queue", str(max_queue),
+        "--policy", policy,
+        "--port", "0",
+    ]
+    if num_models is not None:
+        argv += ["--num-models", str(num_models)]
+    if timeout is not None:
+        argv += ["--timeout", str(timeout)]
+    store_dir = worker_store_dir(store_root, name)
+    if store_dir is not None:
+        argv += ["--store-dir", store_dir]
+        if not recover:
+            argv += ["--no-recover"]
+    return argv
+
+
+def arm_parent_watchdog_from_env() -> Optional[threading.Thread]:
+    """Start the reparenting watchdog when ``REPRO_PARENT_PID`` is set.
+
+    Called from ``python -m repro serve`` startup (like the crash-site
+    failpoint): a daemon thread polls ``os.getppid()`` and hard-exits via
+    ``os._exit`` once the process no longer belongs to the supervising
+    router — ``finally`` blocks must not run, because nothing about the
+    worker's on-disk state should change after its router died.  Returns
+    the thread, or ``None`` when not armed.
+    """
+    raw = os.environ.get(PARENT_PID_ENV)
+    if not raw:
+        return None
+    try:
+        parent_pid = int(raw)
+    except ValueError:
+        return None
+
+    def _watch() -> None:
+        import time
+
+        while True:
+            if os.getppid() != parent_pid:
+                os._exit(0)
+            time.sleep(_WATCHDOG_INTERVAL)
+
+    thread = threading.Thread(
+        target=_watch, name="repro-parent-watchdog", daemon=True
+    )
+    thread.start()
+    return thread

@@ -47,7 +47,12 @@ from repro.persist.hooks import (
     remove_hook,
 )
 from repro.persist.journal import PlanJournal
-from repro.persist.recovery import RecoveredRequest, pending_requests, scan_store
+from repro.persist.recovery import (
+    RecoveredRequest,
+    pending_requests,
+    scan_store,
+    store_summary,
+)
 from repro.persist.store import PlanStore, sweep_stale_temp_files
 
 __all__ = [
@@ -70,5 +75,6 @@ __all__ = [
     "pending_requests",
     "remove_hook",
     "scan_store",
+    "store_summary",
     "sweep_stale_temp_files",
 ]

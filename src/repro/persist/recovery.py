@@ -19,7 +19,7 @@ restart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.persist.journal import PlanJournal
 from repro.persist.store import PlanStore
@@ -103,3 +103,21 @@ def pending_requests(
         for entry in scan_store(store, version_key=version_key)
         if not entry.completed
     ]
+
+
+def store_summary(
+    store: PlanStore, *, version_key: Optional[str] = None
+) -> Dict[str, int]:
+    """Journal census of ``store``: total, pending and completed counts.
+
+    This is the startup banner's one-line answer to "what would recovery
+    do here?" — a supervisor (or operator) can read the pending count
+    before deciding to resume, without paying for the resubmissions.
+    """
+    entries = scan_store(store, version_key=version_key)
+    pending = sum(1 for entry in entries if not entry.completed)
+    return {
+        "journals": len(entries),
+        "pending": pending,
+        "completed": len(entries) - pending,
+    }

@@ -1028,6 +1028,11 @@ class EpochScheduler:
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+    def load(self) -> Dict[str, int]:
+        """Current queue depth and active-request count (heartbeat payload)."""
+        with self._lock:
+            return {"active": len(self._active), "queued": len(self._queue)}
+
     def stats(self) -> Dict[str, object]:
         """Scheduler counters plus the session pool's hit/reuse report."""
         with self._lock:

@@ -329,6 +329,20 @@ class SelectionService:
         """
         return self._ensure_scheduler().result(request, timeout=timeout)
 
+    def load(self) -> Dict[str, int]:
+        """Cheap load probe: active and queued scheduled-request counts.
+
+        Unlike :meth:`stats` this never builds the scheduler, reads no
+        artifacts and allocates nothing of note — it is the payload of the
+        serve protocol's ``ping`` heartbeat, which must stay O(1) while
+        the service is saturated.
+        """
+        with self._lock:
+            scheduler = self._scheduler
+        if scheduler is None:
+            return {"active": 0, "queued": 0}
+        return scheduler.load()
+
     def close(self) -> None:
         """Drain and stop the scheduler (if one was started)."""
         with self._lock:

@@ -48,6 +48,8 @@ _ERROR_CODES = {
     "QueueFullError": "queue_full",
     "BudgetExhaustedError": "budget_exhausted",
     "RequestTimeoutError": "timeout",
+    "RateLimitError": "rate_limited",
+    "WorkerLostError": "worker_lost",
 }
 
 #: Seconds between progress sweeps of the emitter thread.
@@ -159,6 +161,16 @@ class ServeFrontEnd:
                 return self._handle_poll(message, emitter)
             if op == "resume":
                 return self._handle_resume(request_id, emitter)
+            if op == "ping":
+                # Cheap liveness probe: answered from the scheduler's lock
+                # without touching artifacts — heartbeat traffic must stay
+                # O(1) however loaded the service is.
+                payload = {"event": "pong", **self.service.load()}
+                if request_id is not None:
+                    payload["id"] = request_id
+                return payload
+            if op == "refresh":
+                return self._handle_refresh(message)
             if op == "stats":
                 payload = {"event": "stats", "stats": self.service.stats()}
                 if request_id is not None:
@@ -208,6 +220,27 @@ class ServeFrontEnd:
         snapshot["request"] = snapshot.pop("id", None)
         return {"event": "status", "id": request_id, **snapshot}
 
+    def _handle_refresh(self, message: Dict) -> Dict:
+        """Apply a zoo update in place: in-flight requests drain on the old
+        epoch, later admissions see the new one (``docs/zoo-updates.md``)."""
+        added = message.get("added") or []
+        removed = message.get("removed") or []
+        if not added and not removed:
+            return {"event": "error", "id": message.get("id"),
+                    "message": "refresh needs 'added' and/or 'removed' model names"}
+        result = self.service.refresh(added=added, removed=removed)
+        payload: Dict[str, object] = {
+            "event": "refreshed",
+            "zoo_version": result.new_version.key,
+            "old_version": result.old_version.key,
+            "added": len(result.added),
+            "removed": len(result.removed),
+            "reclustered": result.reclustered,
+        }
+        if message.get("id") is not None:
+            payload["id"] = message["id"]
+        return payload
+
     def _handle_resume(self, request_id, emitter: "_EventEmitter") -> Dict:
         """Recover journaled in-flight requests and track them here."""
         self._adopt_recovered(emitter)  # startup recoveries join this stream
@@ -242,7 +275,7 @@ class ServeFrontEnd:
 
         class Handler(socketserver.StreamRequestHandler):
             def handle(self) -> None:
-                out = _SocketWriter(self.wfile)
+                out = SocketLineWriter(self.wfile)
                 emitter = _EventEmitter(front, out)
                 emitter.start()
                 front._adopt_recovered(emitter)
@@ -266,8 +299,12 @@ class ServeFrontEnd:
         return Server((host, port), Handler)
 
 
-class _SocketWriter:
-    """Minimal text adapter over a binary socket file."""
+class SocketLineWriter:
+    """Minimal text adapter over a binary socket file.
+
+    Shared with the distributed router (:mod:`repro.distrib.router`), whose
+    TCP handler writes the same line-delimited JSON events.
+    """
 
     def __init__(self, wfile) -> None:
         self._wfile = wfile

@@ -47,3 +47,22 @@ class BudgetExhaustedError(SchedulerError):
 
 class RequestTimeoutError(SchedulerError):
     """Raised when a request misses its deadline before completing."""
+
+
+class RateLimitError(SchedulerError):
+    """Raised when a tenant exceeds its admission rate limit.
+
+    The router's multi-tenant admission controller emits this as the
+    structured ``rate_limited`` error; like :class:`QueueFullError` it is
+    a fail-fast backpressure signal, not a fatal condition.
+    """
+
+
+class WorkerLostError(SchedulerError):
+    """Raised when a routed request's worker died and could not be replaced.
+
+    Requests normally survive worker death transparently (the supervisor
+    restarts the worker and the router resubmits against the replayed
+    journal); this error is the terminal fallback when the replacement
+    itself cannot be reached.
+    """

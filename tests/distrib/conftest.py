@@ -1,0 +1,32 @@
+"""Marker plumbing for the routed-serving test tier.
+
+Everything under ``tests/distrib/`` exercises the multi-process serving
+tier (router + supervisor + workers) and is automatically tagged with the
+``distrib`` marker, so the fast CI tier deselects it with ``-m "not
+distrib"`` and the dedicated ``test-distrib`` tier selects exactly it —
+the same pattern as ``tests/property/conftest.py`` and
+``tests/faultinject/conftest.py``.
+
+The tier reuses the fault-injection harness (``ServeProcess`` drives real
+``python -m repro serve`` processes over TCP) — the path insertion below
+makes ``from harness import ServeProcess`` resolve to it.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+_DISTRIB_DIR = pathlib.Path(__file__).parent
+_FAULT_DIR = _DISTRIB_DIR.parent / "faultinject"
+
+if str(_FAULT_DIR) not in sys.path:
+    sys.path.insert(0, str(_FAULT_DIR))
+
+
+def pytest_collection_modifyitems(items):
+    # The hook sees the whole session's items; only tag the ones that live
+    # under this directory.
+    for item in items:
+        if _DISTRIB_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.distrib)

@@ -1,0 +1,146 @@
+"""Multi-tenant admission: brownout is structured errors, never latency.
+
+Every rejection path of the router's admission controller, exercised over
+the real wire: the global in-flight bound (``queue_full``), the per-tenant
+token bucket (``rate_limited``), the cumulative epoch quota
+(``budget_exhausted``) and the dynamic fair share between contending
+tenants.  Rejections are synchronous and cheap — a saturated router
+answers its overflow immediately, it does not make excess clients wait.
+
+The :class:`AdmissionController` unit tests at the bottom pin the exact
+arithmetic without processes.
+"""
+
+import time
+
+import pytest
+from harness import ServeProcess
+
+from repro.distrib import AdmissionController, TenantPolicy
+from repro.utils.exceptions import (
+    BudgetExhaustedError,
+    QueueFullError,
+    RateLimitError,
+)
+
+
+def terminal_events(serve, ids):
+    """One terminal (result/failed) event per id, in arrival order."""
+    events = {}
+    while len(events) < len(ids):
+        message = serve.next_event()
+        if message.get("event") in ("result", "failed") and (
+            message.get("id") in ids
+        ):
+            events[message["id"]] = message
+    return events
+
+
+class TestRouterBrownout:
+    def test_overflow_gets_queue_full_not_queueing(self, tmp_path):
+        with ServeProcess(tmp_path / "store", workers=1,
+                          extra_args=("--max-inflight", "2")) as serve:
+            ids = [f"r{index}" for index in range(6)]
+            started = time.monotonic()
+            for rid in ids:
+                serve.send({"op": "select", "target": "mnli", "top_k": 3,
+                            "id": rid})
+            events = terminal_events(serve, set(ids))
+            elapsed = time.monotonic() - started
+
+            failed = [e for e in events.values() if e["event"] == "failed"]
+            results = [e for e in events.values() if e["event"] == "result"]
+            assert len(results) == 2
+            assert len(failed) == 4
+            for event in failed:
+                assert event["error"]["code"] == "queue_full"
+                assert event["error"]["type"] == "QueueFullError"
+            # Brownout, not collapse: the four rejections were answered
+            # ahead of any training-bound result, well inside the run.
+            assert elapsed < 120
+            serve.send({"op": "shutdown"})
+
+    def test_rate_limit_is_per_tenant(self, tmp_path):
+        with ServeProcess(
+            tmp_path / "store", workers=1,
+            extra_args=("--tenant-rate", "0.25", "--tenant-burst", "1"),
+        ) as serve:
+            # Tenant A's burst of one admits the first and rejects the
+            # immediate second...
+            serve.send({"op": "select", "target": "mnli", "top_k": 3,
+                        "tenant": "alpha", "id": "a1"})
+            serve.send({"op": "select", "target": "mnli", "top_k": 3,
+                        "tenant": "alpha", "id": "a2"})
+            # ... while tenant B's own bucket is untouched.
+            serve.send({"op": "select", "target": "sst2", "top_k": 3,
+                        "tenant": "beta", "id": "b1"})
+            events = terminal_events(serve, {"a1", "a2", "b1"})
+            assert events["a2"]["event"] == "failed"
+            assert events["a2"]["error"]["code"] == "rate_limited"
+            assert events["a1"]["event"] == "result"
+            assert events["b1"]["event"] == "result"
+            serve.send({"op": "shutdown"})
+
+    def test_epoch_quota_exhaustion(self, tmp_path):
+        with ServeProcess(tmp_path / "store", workers=1,
+                          extra_args=("--tenant-quota", "0.5")) as serve:
+            # Quota is post-paid: the first request runs and charges its
+            # runtime epochs, pushing the tenant past 0.5 ...
+            serve.send({"op": "select", "target": "mnli", "top_k": 3,
+                        "tenant": "gamma", "id": "q1"})
+            first = serve.wait_for("result", id="q1")
+            assert first["runtime_epochs"] > 0.5
+            # ... so the next admission is refused.
+            serve.send({"op": "select", "target": "mnli", "top_k": 3,
+                        "tenant": "gamma", "id": "q2"})
+            second = serve.wait_for("failed", id="q2")
+            assert second["error"]["code"] == "budget_exhausted"
+            # Other tenants' quotas are their own.
+            serve.send({"op": "select", "target": "mnli", "top_k": 3,
+                        "tenant": "delta", "id": "d1"})
+            serve.wait_for("result", id="d1")
+            serve.send({"op": "shutdown"})
+
+
+class TestAdmissionControllerUnit:
+    def test_fair_share_squeezes_contending_tenants(self):
+        admission = AdmissionController(TenantPolicy(max_inflight=4))
+        admission.admit("a")
+        admission.admit("a")  # sole tenant: may take up to the full 4
+        admission.admit("b")  # second tenant activates: share becomes 2
+        with pytest.raises(QueueFullError):
+            admission.admit("a")  # a is at its fair share of 2
+        admission.admit("b")  # b still under its share
+        with pytest.raises(QueueFullError):
+            admission.admit("b")
+
+    def test_release_returns_slots_and_charges_epochs(self):
+        admission = AdmissionController(
+            TenantPolicy(max_inflight=1, tenant_quota=10.0)
+        )
+        admission.admit("t")
+        with pytest.raises(QueueFullError):
+            admission.admit("t")
+        admission.release("t", epochs=9.0)
+        admission.admit("t")
+        admission.release("t", epochs=2.0)  # cumulative 11 > quota
+        with pytest.raises(BudgetExhaustedError):
+            admission.admit("t")
+
+    def test_token_bucket_refills_over_time(self):
+        admission = AdmissionController(
+            TenantPolicy(max_inflight=100, tenant_rate=50.0, tenant_burst=1)
+        )
+        admission.admit("t")
+        with pytest.raises(RateLimitError):
+            admission.admit("t")
+        time.sleep(0.05)  # 50/s refills one token in 20ms
+        admission.admit("t")
+
+    def test_rejections_are_counted_by_code(self):
+        admission = AdmissionController(TenantPolicy(max_inflight=1))
+        admission.admit("t")
+        for _ in range(3):
+            with pytest.raises(QueueFullError):
+                admission.admit("u")
+        assert admission.stats()["rejected"] == {"queue_full": 3}

@@ -1,0 +1,136 @@
+"""Chaos tier: SIGKILL a worker mid-request; the answer must not change.
+
+The routed tier's availability claim, tested with a real ``SIGKILL`` to a
+real worker process while its requests are mid-flight:
+
+* the supervisor notices within a heartbeat and restarts the worker under
+  the same name (same plan-store slice, recovery suppressed);
+* the router resubmits the dead worker's in-flight requests verbatim;
+* journal replay inside the replacement restores every step the first
+  incarnation already charged — ``epochs_reused >= epochs_replayed``, no
+  step is double-trained;
+* every client receives its result under its original id, bitwise
+  identical to a deployment that never lost a worker (the payload
+  includes ``runtime_epochs``, so equality also proves no request was
+  double-charged).
+
+Unlike the fault-injection tier's armed failpoints (which the supervisor
+deliberately *propagates*), an unarmed SIGKILL is the heal-in-place path.
+"""
+
+import json
+import os
+import signal
+import time
+
+from harness import ServeProcess
+
+from repro.distrib import HashRing, route_key
+
+VOLATILE = ("id", "latency_seconds")
+
+TARGETS = ("mnli", "sst2", "qnli", "cola", "rte", "mrpc", "boolq", "qqp")
+
+
+def strip(event: dict) -> dict:
+    return {k: v for k, v in event.items() if k not in VOLATILE}
+
+
+def submit_all(serve: ServeProcess) -> None:
+    # top_k=5 keeps several finalists training per request, widening the
+    # mid-flight window the SIGKILL must land in.
+    for index, target in enumerate(TARGETS):
+        serve.send({"op": "select", "target": target, "top_k": 5,
+                    "id": f"c{index}"})
+
+
+def collect_results(serve: ServeProcess) -> dict:
+    return {
+        target: strip(serve.wait_for("result", id=f"c{index}"))
+        for index, target in enumerate(TARGETS)
+    }
+
+
+class TestWorkerKillChaos:
+    def test_sigkill_worker_mid_request_is_invisible_to_clients(self, tmp_path):
+        reference_serve = ServeProcess(tmp_path / "reference")
+        with reference_serve:
+            submit_all(reference_serve)
+            reference = collect_results(reference_serve)
+            reference_serve.send({"op": "shutdown"})
+
+        with ServeProcess(tmp_path / "store", workers=2,
+                          timeout=240.0) as serve:
+            workers = {w["name"]: w for w in serve.banner["workers"]}
+            ring = HashRing(sorted(workers))
+            victim = ring.lookup(
+                route_key(serve.banner["zoo_version"], "mnli")
+            )
+            submit_all(serve)
+            for index in range(len(TARGETS)):
+                serve.wait_for("accepted", id=f"c{index}")
+            # Deterministically mid-flight: ``mnli`` (c0) belongs to the
+            # victim; a progress event past its first full training stage
+            # proves the victim has journaled charged plan steps — its
+            # own and (under fair-share round-robin) its siblings' — with
+            # stages still to run.  Kill it exactly there.
+            assert victim == ring.lookup(
+                route_key(serve.banner["zoo_version"], TARGETS[0])
+            )
+            serve.wait_until(
+                lambda m: m.get("event") == "progress"
+                and m.get("id") == "c0"
+                and m.get("stage", 0) >= 1
+            )
+            os.kill(workers[victim]["pid"], signal.SIGKILL)
+
+            results = collect_results(serve)
+            assert results == reference
+
+            serve.send({"op": "stats", "id": "st"})
+            stats = serve.wait_for("stats", id="st")["stats"]
+
+            supervisor = stats["router"]["supervisor"][victim]
+            assert supervisor["restarts"] >= 1, json.dumps(supervisor)
+            assert supervisor["alive"] is True
+
+            scheduler = stats["workers"][victim]["scheduler"]
+            replayed = scheduler["persist"]["epochs_replayed"]
+            reused = scheduler["session_pool"]["epochs_reused"]
+            # The replacement replayed its predecessor's journaled steps
+            # (charged, not retrained): every replayed epoch shows up as
+            # a reused one — zero double-trained, zero double-charged.
+            assert replayed >= 1
+            assert reused >= replayed, (reused, replayed)
+
+            serve.send({"op": "shutdown"})
+
+    def test_sigkill_with_no_inflight_requests_just_restarts(self, tmp_path):
+        """Idle-worker death is boring by design: the supervisor restarts
+        it and the deployment keeps serving."""
+        with ServeProcess(tmp_path / "idle-store", workers=2,
+                          timeout=240.0) as serve:
+            victim = serve.banner["workers"][0]
+            os.kill(victim["pid"], signal.SIGKILL)
+
+            # The fleet keeps answering while the supervisor heals.
+            serve.send({"op": "select", "target": "sst2", "top_k": 3,
+                        "id": "during"})
+            serve.wait_for("result", id="during")
+
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                serve.send({"op": "stats", "id": "st"})
+                stats = serve.wait_for("stats", id="st")["stats"]
+                state = stats["router"]["supervisor"][victim["name"]]
+                if state["restarts"] >= 1 and state["alive"]:
+                    break
+                time.sleep(0.5)
+            else:
+                raise AssertionError(f"worker never healed: {stats}")
+
+            # And the healed worker serves its shard again.
+            serve.send({"op": "select", "target": "mnli", "top_k": 3,
+                        "id": "after"})
+            serve.wait_for("result", id="after")
+            serve.send({"op": "shutdown"})

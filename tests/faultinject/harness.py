@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import json
 import os
-import socket
 import subprocess
 import sys
 import time
@@ -34,6 +33,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 import repro
+from repro.distrib.wire import connect_with_retry
 from repro.persist import SimulatedCrash, install_hook, remove_hook
 
 #: Every named crash site the persistence path declares.
@@ -129,6 +129,10 @@ class ServeProcess:
         named site.
     num_models:
         ``--num-models`` of the reduced NLP hub (keeps startup fast).
+    workers:
+        When given, serve through the routed tier (``--workers N``) —
+        every crash contract under test must hold identically for a
+        consistent-hash router over N worker processes.
     """
 
     def __init__(
@@ -139,6 +143,7 @@ class ServeProcess:
         crash_site: Optional[str] = None,
         crash_ordinal: int = 1,
         timeout: float = 120.0,
+        workers: Optional[int] = None,
         extra_args: tuple = (),
     ) -> None:
         env = dict(os.environ)
@@ -157,6 +162,7 @@ class ServeProcess:
                 "--num-models", str(num_models),
                 "--store-dir", str(store_dir),
                 "--port", "0",
+                *(("--workers", str(workers)) if workers is not None else ()),
                 *extra_args,
             ],
             stdout=subprocess.PIPE,
@@ -171,8 +177,11 @@ class ServeProcess:
                 + (self.proc.stderr.read() or "")[-2000:]
             )
         self.banner = json.loads(banner_line)
-        self.sock = socket.create_connection(
-            ("127.0.0.1", self.banner["port"]), timeout=timeout
+        # Poll for port readiness rather than trusting a single connect:
+        # the routed tier prints its banner from the router while worker
+        # accept loops may still be a scheduling quantum away.
+        self.sock = connect_with_retry(
+            "127.0.0.1", self.banner["port"], timeout=timeout
         )
         self.sock.settimeout(timeout)
         self._reader = self.sock.makefile("r", encoding="utf-8")
@@ -220,6 +229,25 @@ class ServeProcess:
             if message.get("event") not in ("progress",):
                 self._pending.append(message)
         raise TimeoutError(f"no {event!r} event within {self.timeout}s")
+
+    def wait_until(self, predicate) -> Dict[str, object]:
+        """Read events until ``predicate(event)`` is truthy.
+
+        Like :meth:`wait_for` but for conditions a (event, id) pair can't
+        express — e.g. "a progress event past stage N".  Non-matching,
+        non-progress events are buffered for later ``wait_for`` calls.
+        """
+        for index, message in enumerate(self._pending):
+            if predicate(message):
+                return self._pending.pop(index)
+        deadline = time.monotonic() + self.timeout
+        while time.monotonic() < deadline:
+            message = self.next_event()
+            if predicate(message):
+                return message
+            if message.get("event") not in ("progress",):
+                self._pending.append(message)
+        raise TimeoutError(f"no matching event within {self.timeout}s")
 
     # ------------------------------------------------------------------ #
     def kill(self) -> int:

@@ -13,13 +13,20 @@ from harness import FAILPOINT_EXIT_CODE, ServeProcess
 
 TARGET, TOP_K = "mnli", 5
 
+
+@pytest.fixture(params=[None, 2], ids=["single", "routed2"])
+def workers(request):
+    """Run every crash contract against both deployment shapes: one
+    process, and a consistent-hash router over two workers."""
+    return request.param
+
 #: Event fields that legitimately differ between runs.
 VOLATILE = ("id", "latency_seconds")
 
 
-def reference_payload(tmp_path):
+def reference_payload(tmp_path, workers=None):
     """Result payload of one clean, never-crashed serve run."""
-    with ServeProcess(tmp_path / "reference-store") as serve:
+    with ServeProcess(tmp_path / "reference-store", workers=workers) as serve:
         serve.send({"op": "select", "target": TARGET, "top_k": TOP_K, "id": "ref"})
         serve.wait_for("accepted", id="ref")
         result = serve.wait_for("result", id="ref")
@@ -28,12 +35,13 @@ def reference_payload(tmp_path):
 
 
 class TestServeProcessCrash:
-    def test_failpoint_kill_then_restart_recovers_result(self, tmp_path):
-        reference = reference_payload(tmp_path)
+    def test_failpoint_kill_then_restart_recovers_result(self, tmp_path, workers):
+        reference = reference_payload(tmp_path, workers)
         store = tmp_path / "store"
 
         # Lifetime 1: dies via os._exit at the 4th step boundary.
-        crashed = ServeProcess(store, crash_site="plan.step", crash_ordinal=4)
+        crashed = ServeProcess(store, crash_site="plan.step", crash_ordinal=4,
+                               workers=workers)
         with crashed:
             crashed.send(
                 {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "req"}
@@ -43,7 +51,7 @@ class TestServeProcessCrash:
 
         # Lifetime 2: same store, no failpoint; startup recovery resumes
         # the journaled request and streams its result unprompted.
-        with ServeProcess(store) as restarted:
+        with ServeProcess(store, workers=workers) as restarted:
             assert restarted.banner["recovered"] == 1
             result = restarted.wait_for("result")
             assert str(result["id"]).startswith("recovered-")
@@ -59,13 +67,13 @@ class TestServeProcessCrash:
             assert {k: v for k, v in again.items() if k not in VOLATILE} == reference
             restarted.send({"op": "shutdown"})
 
-    def test_sigkill_then_restart_converges(self, tmp_path):
+    def test_sigkill_then_restart_converges(self, tmp_path, workers):
         """SIGKILL at arbitrary timing: whatever was or wasn't journaled,
         the restarted server ends up with the reference answer."""
-        reference = reference_payload(tmp_path)
+        reference = reference_payload(tmp_path, workers)
         store = tmp_path / "store-sigkill"
 
-        victim = ServeProcess(store)
+        victim = ServeProcess(store, workers=workers)
         with victim:
             victim.send(
                 {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "req"}
@@ -75,7 +83,7 @@ class TestServeProcessCrash:
             status = victim.kill()
             assert status != 0
 
-        with ServeProcess(store) as restarted:
+        with ServeProcess(store, workers=workers) as restarted:
             assert restarted.banner["recovered"] in (0, 1)
             if restarted.banner["recovered"]:
                 result = restarted.wait_for("result")
@@ -88,9 +96,10 @@ class TestServeProcessCrash:
             assert {k: v for k, v in fresh.items() if k not in VOLATILE} == reference
             restarted.send({"op": "shutdown"})
 
-    def test_resume_verb_reports_recovered_requests(self, tmp_path):
+    def test_resume_verb_reports_recovered_requests(self, tmp_path, workers):
         store = tmp_path / "store-resume"
-        crashed = ServeProcess(store, crash_site="plan.step", crash_ordinal=2)
+        crashed = ServeProcess(store, crash_site="plan.step", crash_ordinal=2,
+                               workers=workers)
         with crashed:
             crashed.send(
                 {"op": "select", "target": TARGET, "top_k": TOP_K, "id": "req"}
@@ -100,7 +109,7 @@ class TestServeProcessCrash:
 
         # A client can also drive recovery explicitly with the resume verb
         # (idempotent: the second call finds nothing new in flight).
-        with ServeProcess(store) as restarted:
+        with ServeProcess(store, workers=workers) as restarted:
             restarted.send({"op": "resume", "id": "r1"})
             recovered = restarted.wait_for("recovered", id="r1")
             # Startup recovery (banner) may have adopted the request
