@@ -6,7 +6,7 @@ PY := PYTHONPATH=src python
         docs-check docs-api docs-api-check bench-parallel bench-incremental \
         bench-similarity bench-ooc bench-smoke bench-concurrent \
         bench-concurrent-smoke bench-resume bench-distrib \
-        bench-distrib-smoke examples
+        bench-distrib-smoke bench-cluster bench-cluster-smoke examples
 
 # Tier-1 verify: the full suite (what CI runs on main).
 test:
@@ -40,7 +40,8 @@ test-all:
 # concurrent-selection scheduler (serial==scheduled equivalence plus a
 # relaxed throughput gate at small n) and verifies the generated API
 # reference is current.
-ci: test-fast bench-smoke bench-concurrent-smoke bench-distrib-smoke docs-api-check
+ci: test-fast bench-smoke bench-concurrent-smoke bench-distrib-smoke \
+    bench-cluster-smoke docs-api-check
 
 ci-full: test-all docs-check
 
@@ -99,6 +100,16 @@ bench-distrib:
 
 bench-distrib-smoke:
 	$(PY) benchmarks/bench_distributed_serving.py --smoke
+
+# Sub-quadratic clustering + ANN recall: the full run gates >= 5x over the
+# quadratic scan at n=5000 (identical labels) and measures IVF recall@k;
+# the smoke tier runs the same label-equivalence and recall-floor gates at
+# tiny n on every change.
+bench-cluster:
+	$(PY) benchmarks/bench_cluster_scaling.py --json-out benchmarks/bench_cluster_scaling.json
+
+bench-cluster-smoke:
+	$(PY) benchmarks/bench_cluster_scaling.py --smoke
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

@@ -1,0 +1,29 @@
+"""Approximate nearest-neighbor search over model performance vectors.
+
+A checkpoint-hub-scale zoo makes two online paths linear in the repository
+size: Eq. 4 score propagation sums over *every* representative, and
+incremental placement compares an added model against *every* cluster.
+This package provides a small, numpy-only IVF (inverted-file) index over
+model performance vectors so both paths can shortlist candidates instead
+of scanning full rows — opt-in via
+:attr:`repro.core.config.RecallConfig.ann_shortlist` and
+:attr:`repro.core.config.ClusteringConfig.ann_placement`; the ``None``
+defaults keep the exact full scans bitwise-unchanged.
+
+Guarantees (enforced by ``tests/ann/``):
+
+* candidate distances are always **exact** — the index only prunes which
+  vectors are compared, never approximates the comparison itself;
+* ``nprobe >= nlist`` (or an index with one list) returns results
+  identical to :func:`exact_search`;
+* when pruning leaves fewer than ``k`` candidates, :meth:`IVFIndex.search`
+  transparently falls back to the exact full scan, so a query can never
+  receive fewer neighbors than exact search would return;
+* :func:`recall_at_k` measures the achieved recall against
+  :func:`exact_search` so callers can size ``nprobe`` empirically
+  (``benchmarks/bench_cluster_scaling.py`` gates a floor in CI).
+"""
+
+from repro.ann.ivf import IVFIndex, exact_search, recall_at_k
+
+__all__ = ["IVFIndex", "exact_search", "recall_at_k"]

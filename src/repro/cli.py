@@ -533,6 +533,10 @@ def _cmd_zoo_build(args: argparse.Namespace, stream) -> int:
         parallel=_parallel_config(args),
     )
     config = replace(PipelineConfig.for_modality(args.modality), similarity=similarity)
+    if args.algorithm is not None:
+        config = replace(
+            config, clustering=replace(config.clustering, algorithm=args.algorithm)
+        )
     started = time.perf_counter()
     artifacts = OfflineArtifacts.build(hub, suite, config=config)
     elapsed = time.perf_counter() - started
@@ -544,6 +548,7 @@ def _cmd_zoo_build(args: argparse.Namespace, stream) -> int:
         "num_models": len(artifacts.hub),
         "num_benchmarks": len(artifacts.matrix.dataset_names),
         "num_clusters": int(summary["num_clusters"]),
+        "algorithm": config.clustering.algorithm,
         "similarity_backing": "memmap" if spilled else "memory",
         "similarity_bytes": int(matrix.nbytes),
         "max_bytes_in_flight": similarity.max_bytes_in_flight,
@@ -557,7 +562,8 @@ def _cmd_zoo_build(args: argparse.Namespace, stream) -> int:
         return 0
     print(f"offline build : {payload['num_models']} {args.modality} models x "
           f"{payload['num_benchmarks']} benchmarks", file=stream)
-    print(f"clusters      : {payload['num_clusters']}", file=stream)
+    print(f"clusters      : {payload['num_clusters']} "
+          f"({payload['algorithm']} agglomeration)", file=stream)
     print(f"similarity    : {payload['similarity_bytes'] / 1e6:.1f} MB "
           f"({payload['similarity_backing']})", file=stream)
     if spilled:
@@ -909,6 +915,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="matrix store directory (default: REPRO_STORE_DIR or a "
         "process-temporary directory)",
+    )
+    zoo_build.add_argument(
+        "--algorithm",
+        choices=("nnchain", "scan"),
+        default=None,
+        help="hierarchical merge engine: nearest-neighbor chain (default, "
+        "the scaling path) or the original working-matrix scan oracle; "
+        "identical results on tie-free inputs — see docs/scaling.md",
     )
     zoo_build.add_argument("--json", action="store_true", help="emit JSON")
     zoo_build.set_defaults(handler=_cmd_zoo_build)

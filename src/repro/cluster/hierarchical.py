@@ -201,12 +201,18 @@ def hierarchical_cluster(
     num_clusters: Optional[int] = None,
     distance_threshold: Optional[float] = None,
     linkage: str = "average",
+    work_store: StoreLike = None,
 ) -> ClusterAssignment:
-    """Convenience wrapper returning a :class:`ClusterAssignment`."""
+    """Convenience wrapper returning a :class:`ClusterAssignment`.
+
+    ``work_store`` names the matrix store that receives the scratch
+    working matrix of a memory-mapped input (default: the process-default
+    store), exactly as in :meth:`AgglomerativeClustering.fit_predict`.
+    """
     algorithm = AgglomerativeClustering(
         num_clusters=num_clusters,
         distance_threshold=distance_threshold,
         linkage=linkage,
     )
-    labels = algorithm.fit_predict(distance_matrix)
+    labels = algorithm.fit_predict(distance_matrix, work_store=work_store)
     return ClusterAssignment.from_labels(item_names, labels)

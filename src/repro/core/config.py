@@ -95,6 +95,16 @@ class ClusteringConfig:
     ----------
     method:
         ``"hierarchical"`` (paper default) or ``"kmeans"``.
+    algorithm:
+        Hierarchical merge engine: ``"nnchain"`` (default) runs the
+        nearest-neighbor-chain algorithm
+        (:mod:`repro.cluster.nnchain` — O(n²) total, the scaling path),
+        ``"scan"`` the original working-matrix scan
+        (:class:`repro.cluster.hierarchical.AgglomerativeClustering`,
+        kept as the exactness oracle).  Both produce identical merge
+        sequences on tie-free inputs, and nnchain delegates tied inputs
+        to the scan, so the choice is a performance knob, not a
+        semantics knob.  Ignored by k-means.
     similarity:
         ``"performance"`` (Eq. 1) or ``"text"`` (model-card baseline).
     top_k:
@@ -117,6 +127,14 @@ class ClusteringConfig:
         :func:`repro.cluster.incremental.update_clustering` triggers a full
         re-cluster.  ``0.0`` re-clusters on every zoo change; ``1.0``
         effectively never does.  See ``docs/zoo-updates.md``.
+    ann_placement:
+        Opt-in ANN shortlist for incremental placement: when set, a model
+        added by :func:`repro.cluster.incremental.update_clustering` is
+        compared only against the clusters containing its
+        ``ann_placement`` approximate nearest neighbors (IVF index over
+        performance distances, :mod:`repro.ann`) instead of every
+        cluster.  ``None`` (default) keeps the exact full scan —
+        bitwise-identical to all previous releases.
     """
 
     method: str = "hierarchical"
@@ -127,10 +145,18 @@ class ClusteringConfig:
     num_clusters: Optional[int] = None
     linkage: str = "average"
     staleness_threshold: float = 0.25
+    algorithm: str = "nnchain"
+    ann_placement: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("hierarchical", "kmeans"):
             raise ConfigurationError(f"unknown clustering method {self.method!r}")
+        if self.algorithm not in ("nnchain", "scan"):
+            raise ConfigurationError(
+                f"unknown clustering algorithm {self.algorithm!r}"
+            )
+        if self.ann_placement is not None and self.ann_placement < 1:
+            raise ConfigurationError("ann_placement must be >= 1 when given")
         if self.similarity not in ("performance", "text"):
             raise ConfigurationError(f"unknown similarity {self.similarity!r}")
         if self.top_k < 1:
@@ -164,6 +190,14 @@ class RecallConfig:
         enabled, subsampling inside the scorer is seeded from the cache key
         so cached and fresh scores are interchangeable; see
         :class:`repro.metrics.registry.CachedScorer`.
+    ann_shortlist:
+        Opt-in ANN shortlist for non-representative scoring: when set, the
+        Eq. 4 propagated score of a clustered non-representative model is
+        computed over only its ``ann_shortlist`` most similar
+        representatives (IVF index over performance similarity,
+        :mod:`repro.ann`) instead of all representatives.  ``None``
+        (default) keeps the exact all-representatives sum —
+        bitwise-identical to all previous releases.
     """
 
     proxy_score: str = "leep"
@@ -171,10 +205,13 @@ class RecallConfig:
     max_proxy_samples: Optional[int] = 256
     proxy_epoch_cost: float = 0.5
     cache_proxy_scores: bool = False
+    ann_shortlist: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.top_k < 1:
             raise ConfigurationError("top_k must be >= 1")
+        if self.ann_shortlist is not None and self.ann_shortlist < 1:
+            raise ConfigurationError("ann_shortlist must be >= 1 when given")
         if self.max_proxy_samples is not None and self.max_proxy_samples < 1:
             raise ConfigurationError("max_proxy_samples must be >= 1 when given")
         if self.proxy_epoch_cost < 0:

@@ -24,6 +24,7 @@ from repro.cluster.distance import (
 )
 from repro.cluster.hierarchical import AgglomerativeClustering
 from repro.cluster.kmeans import KMeans
+from repro.cluster.nnchain import NNChainClustering
 from repro.cluster.silhouette import silhouette_score
 from repro.core.config import ClusteringConfig, SimilarityConfig
 from repro.core.performance import PerformanceMatrix
@@ -229,8 +230,8 @@ class ModelClusterer:
         labels, threshold = self._run_algorithm(distance, work_store=work_store)
         assignment = ClusterAssignment.from_labels(matrix.model_names, labels)
         representatives = self._elect_representatives(assignment, matrix)
-        score = self._safe_silhouette(distance, assignment.labels)
         extras: Dict[str, float] = {"stale_models": 0.0}
+        score = self._safe_silhouette(distance, assignment.labels, extras=extras)
         if threshold is not None:
             extras["distance_threshold"] = float(threshold)
         if spilled:
@@ -285,7 +286,12 @@ class ModelClusterer:
                 # replaced, so the quantile is bitwise-stable.)
                 off_diagonal = upper_triangle_values(distance)
                 threshold = float(np.quantile(off_diagonal, self.config.threshold_quantile))
-            algorithm = AgglomerativeClustering(
+            engine = (
+                NNChainClustering
+                if self.config.algorithm == "nnchain"
+                else AgglomerativeClustering
+            )
+            algorithm = engine(
                 num_clusters=self.config.num_clusters,
                 distance_threshold=threshold,
                 linkage=self.config.linkage,
@@ -310,9 +316,27 @@ class ModelClusterer:
         return representatives
 
     @staticmethod
-    def _safe_silhouette(distance: np.ndarray, labels: np.ndarray) -> Optional[float]:
+    def _safe_silhouette(
+        distance: np.ndarray,
+        labels: np.ndarray,
+        *,
+        extras: Optional[Dict[str, float]] = None,
+    ) -> Optional[float]:
+        """Silhouette score, or ``None`` when it cannot / should not run.
+
+        Past :data:`SILHOUETTE_MAX_MODELS` the skip is recorded as
+        ``extras["silhouette_skipped"] = 1.0`` (when a dict is supplied)
+        so an out-of-core clustering reports *why* its silhouette is
+        missing instead of silently dropping the diagnostic; degenerate
+        label sets (fewer than two clusters, or all singletons) stay a
+        plain ``None`` — there the score is undefined, not skipped.
+        """
         if distance.shape[0] > SILHOUETTE_MAX_MODELS:
+            if extras is not None:
+                extras["silhouette_skipped"] = 1.0
             return None
+        if extras is not None:
+            extras.pop("silhouette_skipped", None)
         unique = set(labels.tolist())
         if len(unique) < 2 or len(unique) >= distance.shape[0]:
             return None

@@ -1,0 +1,121 @@
+"""Unit tests for the IVF index (repro.ann)."""
+
+import numpy as np
+import pytest
+
+from repro.ann import IVFIndex, exact_search, recall_at_k
+from repro.utils.exceptions import ConfigurationError, DataError
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return np.random.default_rng(0).normal(size=(300, 12))
+
+
+@pytest.fixture(scope="module")
+def index(vectors):
+    return IVFIndex(vectors, seed=0)
+
+
+class TestExactSearch:
+    def test_orders_by_distance_then_id(self, vectors):
+        ids, distances = exact_search(vectors, vectors[7], 10)
+        assert ids[0] == 7 and distances[0] == 0.0
+        assert np.all(np.diff(distances) >= 0)
+        for i in range(len(ids) - 1):
+            if distances[i] == distances[i + 1]:
+                assert ids[i] < ids[i + 1]
+
+    def test_k_larger_than_database_returns_everything(self, vectors):
+        ids, _ = exact_search(vectors, vectors[0], 10_000)
+        assert sorted(ids.tolist()) == list(range(vectors.shape[0]))
+
+    def test_rejects_dimension_mismatch(self, vectors):
+        with pytest.raises(DataError):
+            exact_search(vectors, np.zeros(3), 5)
+
+
+class TestIVFIndex:
+    def test_default_geometry(self, index, vectors):
+        assert index.nlist == round(np.sqrt(vectors.shape[0]))
+        assert len(index) == vectors.shape[0]
+        assert index.dimension == vectors.shape[1]
+
+    def test_all_probes_identical_to_exact(self, index, vectors):
+        for q in range(0, 300, 37):
+            exact_ids, exact_d = exact_search(vectors, vectors[q], 15)
+            ids, d = index.search(vectors[q], 15, nprobe=index.nlist)
+            assert np.array_equal(exact_ids, ids)
+            assert np.array_equal(exact_d, d)
+
+    def test_candidate_distances_are_exact(self, index, vectors):
+        query = vectors[3] + 0.01
+        ids, distances = index.search(query, 5, nprobe=2)
+        expected = np.linalg.norm(vectors[ids] - query, axis=1)
+        assert np.array_equal(distances, np.sqrt(np.einsum(
+            "ij,ij->i", vectors[ids] - query, vectors[ids] - query
+        )))
+        assert np.allclose(distances, expected)
+
+    def test_short_candidate_set_falls_back_to_exact(self, vectors):
+        # One probe cannot hold 290 of 300 vectors: the fallback must make
+        # the result identical to exact search, not shorter.
+        index = IVFIndex(vectors, nlist=17, seed=0)
+        query = np.random.default_rng(1).normal(size=12)
+        ids, distances = index.search(query, 290, nprobe=1)
+        exact_ids, exact_d = exact_search(vectors, query, 290)
+        assert np.array_equal(ids, exact_ids)
+        assert np.array_equal(distances, exact_d)
+
+    def test_add_then_search_finds_the_new_vector(self, vectors):
+        index = IVFIndex(vectors, seed=0)
+        query = np.random.default_rng(2).normal(size=12)
+        new_id = index.add(query)
+        assert new_id == vectors.shape[0]
+        assert len(index) == vectors.shape[0] + 1
+        ids, distances = index.search(query, 1)
+        assert ids[0] == new_id and distances[0] == 0.0
+
+    def test_single_list_index_is_exact(self, vectors):
+        index = IVFIndex(vectors, nlist=1, seed=0)
+        query = np.random.default_rng(3).normal(size=12)
+        ids, d = index.search(query, 9, nprobe=1)
+        exact_ids, exact_d = exact_search(vectors, query, 9)
+        assert np.array_equal(ids, exact_ids) and np.array_equal(d, exact_d)
+
+    def test_deterministic_across_builds(self, vectors):
+        a = IVFIndex(vectors, seed=0)
+        b = IVFIndex(vectors, seed=0)
+        query = np.random.default_rng(4).normal(size=12)
+        assert np.array_equal(a.search(query, 8)[0], b.search(query, 8)[0])
+
+    def test_validation(self, vectors, index):
+        with pytest.raises(ConfigurationError):
+            IVFIndex(vectors, nlist=0)
+        with pytest.raises(ConfigurationError):
+            IVFIndex(vectors, nlist=vectors.shape[0] + 1)
+        with pytest.raises(ConfigurationError):
+            index.search(vectors[0], 0)
+        with pytest.raises(ConfigurationError):
+            index.search(vectors[0], 3, nprobe=0)
+        with pytest.raises(DataError):
+            index.search(np.zeros(2), 3)
+        with pytest.raises(DataError):
+            index.add(np.zeros(2))
+        with pytest.raises(DataError):
+            IVFIndex(np.array([[np.nan, 0.0]]))
+
+
+class TestRecallAtK:
+    def test_full_probing_has_perfect_recall(self, index, vectors):
+        assert recall_at_k(index, vectors[:25], 10, nprobe=index.nlist) == 1.0
+
+    def test_recall_bounded_and_probing_helps(self, index, vectors):
+        low = recall_at_k(index, vectors[:40], 10, nprobe=1)
+        high = recall_at_k(index, vectors[:40], 10, nprobe=max(2, index.nlist // 2))
+        assert 0.0 <= low <= 1.0
+        assert low <= high <= 1.0
+
+    def test_requires_queries(self, index):
+        with pytest.raises(DataError):
+            recall_at_k(index, np.empty((0, 12)), 5)

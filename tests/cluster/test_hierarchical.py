@@ -78,3 +78,27 @@ def test_hierarchical_cluster_wrapper():
     assignment = hierarchical_cluster(names, distances, num_clusters=2)
     assert assignment.num_clusters == 2
     assert set(assignment.item_names) == set(names)
+
+
+def test_hierarchical_cluster_wrapper_plumbs_work_store(tmp_path):
+    """Regression: the wrapper used to drop ``work_store``, spilling the
+    scratch working matrix of a memmapped input to the process default."""
+    from repro.store import MatrixStore
+
+    calls = []
+
+    class SpyStore(MatrixStore):
+        def scratch(self, shape, dtype=float, *, prefix="scratch"):
+            calls.append(tuple(shape))
+            return super().scratch(shape, dtype, prefix=prefix)
+
+    distances = two_blob_distances(np.random.default_rng(7), n_per_blob=3)
+    path = tmp_path / "distances.npy"
+    np.save(path, distances)
+    mapped = np.load(path, mmap_mode="r")
+    names = [f"m{i}" for i in range(6)]
+    spy = SpyStore(tmp_path / "store")
+    assignment = hierarchical_cluster(names, mapped, num_clusters=2, work_store=spy)
+    assert calls == [(6, 6)]
+    dense = hierarchical_cluster(names, distances, num_clusters=2)
+    assert assignment.labels.tolist() == dense.labels.tolist()

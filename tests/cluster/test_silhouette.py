@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.cluster.distance import pairwise_distances
-from repro.cluster.silhouette import silhouette_samples, silhouette_score
+from repro.cluster.silhouette import (
+    _silhouette_samples_loop,
+    silhouette_samples,
+    silhouette_score,
+)
 from repro.utils.exceptions import DataError
 
 
@@ -53,3 +57,41 @@ class TestSilhouette:
         distances = pairwise_distances(np.random.default_rng(4).normal(size=(4, 2)))
         with pytest.raises(DataError):
             silhouette_score(distances, np.array([0, 1]))
+
+
+class TestStreamingEqualsLoop:
+    """The streaming path must be bitwise-identical to the original loop."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bitwise_equal_on_random_labelings(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 120))
+        distances = pairwise_distances(rng.normal(size=(n, 4)))
+        labels = rng.integers(0, max(2, n // 3), size=n)
+        if np.unique(labels).size < 2:
+            labels[0] = labels[0] + 1 if labels[0] == 0 else 0
+        assert np.array_equal(
+            silhouette_samples(distances, labels),
+            _silhouette_samples_loop(distances, labels),
+        )
+
+    def test_bitwise_equal_with_singletons_and_negative_labels(self):
+        rng = np.random.default_rng(99)
+        distances = pairwise_distances(rng.normal(size=(15, 3)))
+        labels = np.array([0] * 6 + [3] * 6 + [-1, 7, 9])  # unsorted, gappy
+        assert np.array_equal(
+            silhouette_samples(distances, labels),
+            _silhouette_samples_loop(distances, labels),
+        )
+
+    def test_memmap_input_streams_and_matches_dense(self, tmp_path):
+        rng = np.random.default_rng(5)
+        distances = pairwise_distances(rng.normal(size=(60, 4)))
+        labels = rng.integers(0, 6, size=60)
+        path = tmp_path / "distances.npy"
+        np.save(path, distances)
+        mapped = np.load(path, mmap_mode="r")
+        assert np.array_equal(
+            silhouette_samples(mapped, labels),
+            _silhouette_samples_loop(distances, labels),
+        )

@@ -110,3 +110,50 @@ class TestModelClusterer:
         single = nlp_matrix_small.submatrix(["bert-base-uncased"])
         with pytest.raises(SelectionError):
             ModelClusterer(ClusteringConfig()).cluster(single)
+
+
+class TestAlgorithmDispatch:
+    def test_default_algorithm_is_nnchain(self):
+        assert ClusteringConfig().algorithm == "nnchain"
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.utils.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ClusteringConfig(algorithm="scipy")
+
+    @pytest.mark.parametrize("kwargs", [{}, {"num_clusters": 4}, {"distance_threshold": 0.3}])
+    def test_scan_and_nnchain_agree_on_the_zoo(self, nlp_matrix_small, kwargs):
+        """The oracle gate: both engines cluster the seeded zoo identically."""
+        chain = ModelClusterer(ClusteringConfig(algorithm="nnchain", **kwargs)).cluster(
+            nlp_matrix_small, cache=False
+        )
+        scan = ModelClusterer(ClusteringConfig(algorithm="scan", **kwargs)).cluster(
+            nlp_matrix_small, cache=False
+        )
+        assert np.array_equal(chain.assignment.labels, scan.assignment.labels)
+        assert chain.representatives == scan.representatives
+        assert chain.extras == scan.extras
+
+
+class TestSilhouetteSkipReporting:
+    def test_skip_past_cap_recorded_in_extras(self, nlp_matrix_small, monkeypatch):
+        import repro.core.model_clustering as module
+
+        monkeypatch.setattr(module, "SILHOUETTE_MAX_MODELS", 2)
+        clustering = ModelClusterer(ClusteringConfig()).cluster(
+            nlp_matrix_small, cache=False
+        )
+        assert clustering.silhouette is None
+        assert clustering.extras["silhouette_skipped"] == 1.0
+
+    def test_small_repository_not_marked_skipped(self, nlp_clustering_small):
+        assert "silhouette_skipped" not in nlp_clustering_small.extras
+
+    def test_degenerate_labels_are_none_but_not_skipped(self):
+        extras = {}
+        value = ModelClusterer._safe_silhouette(
+            np.zeros((3, 3)), np.zeros(3, dtype=int), extras=extras
+        )
+        assert value is None
+        assert extras == {}

@@ -1,0 +1,83 @@
+"""Property-based tests for the IVF ANN index (repro.ann)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ann import IVFIndex, exact_search, recall_at_k
+
+
+@st.composite
+def databases(draw, min_points=4, max_points=60, max_dim=8):
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    return draw(
+        hnp.arrays(
+            dtype=float,
+            shape=(n, dim),
+            elements=st.floats(min_value=-50.0, max_value=50.0),
+        )
+    )
+
+
+class TestIVFProperties:
+    @given(databases(), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_full_probing_equals_exact(self, vectors, k):
+        index = IVFIndex(vectors, seed=0)
+        query = vectors[0] + 0.5
+        ids, distances = index.search(query, k, nprobe=index.nlist)
+        exact_ids, exact_d = exact_search(vectors, query, k)
+        assert np.array_equal(ids, exact_ids)
+        assert np.array_equal(distances, exact_d)
+
+    @given(databases(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_results_are_a_subset_with_exact_distances(self, vectors, nprobe):
+        index = IVFIndex(vectors, seed=0)
+        query = vectors[-1] * 0.9
+        k = min(5, vectors.shape[0])
+        ids, distances = index.search(query, k, nprobe=nprobe)
+        assert len(ids) == k  # never shorter than exact search's result
+        deltas = vectors[ids] - query
+        assert np.array_equal(
+            distances, np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+        )
+        assert np.all(np.diff(distances) >= 0)
+
+    @given(databases(min_points=8))
+    @settings(max_examples=30, deadline=None)
+    def test_fallback_is_lossless(self, vectors):
+        # k close to n forces the short-candidate fallback under one probe.
+        index = IVFIndex(vectors, seed=0)
+        k = vectors.shape[0] - 1
+        query = vectors.mean(axis=0)
+        ids, distances = index.search(query, k, nprobe=1)
+        exact_ids, exact_d = exact_search(vectors, query, k)
+        assert np.array_equal(ids, exact_ids)
+        assert np.array_equal(distances, exact_d)
+
+    @given(databases(min_points=6), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_recall_at_k_bounds_and_monotonicity(self, vectors, k):
+        index = IVFIndex(vectors, seed=0)
+        queries = vectors[: min(8, vectors.shape[0])]
+        low = recall_at_k(index, queries, k, nprobe=1)
+        full = recall_at_k(index, queries, k, nprobe=index.nlist)
+        assert 0.0 <= low <= 1.0
+        assert full == 1.0
+
+    @given(databases(min_points=5))
+    @settings(max_examples=25, deadline=None)
+    def test_added_vectors_are_retrievable(self, vectors):
+        index = IVFIndex(vectors, seed=0)
+        new = vectors.mean(axis=0) + 1.0
+        new_id = index.add(new)
+        ids, distances = index.search(new, 1, nprobe=index.nlist)
+        assert distances[0] == 0.0
+        # An existing row may coincide exactly with ``new``; ties break
+        # towards the lower id, so assert on the vector, not the id.
+        assert ids[0] == new_id or np.array_equal(
+            np.asarray(vectors[ids[0]], dtype=float), new
+        )

@@ -7,8 +7,9 @@ from hypothesis.extra import numpy as hnp
 
 from repro.cluster.distance import pairwise_distances, similarity_to_distance
 from repro.cluster.hierarchical import AgglomerativeClustering
+from repro.cluster.nnchain import NNChainClustering
 from repro.cluster.kmeans import KMeans
-from repro.cluster.silhouette import silhouette_samples
+from repro.cluster.silhouette import _silhouette_samples_loop, silhouette_samples
 
 
 @st.composite
@@ -91,3 +92,89 @@ class TestClusteringProperties:
         values = silhouette_samples(distances, labels)
         assert np.all(values >= -1.0 - 1e-9)
         assert np.all(values <= 1.0 + 1e-9)
+
+    @given(point_sets(min_points=4, max_points=25), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_silhouette_streaming_bitwise_equals_loop(self, points, num_labels):
+        distances = pairwise_distances(points)
+        rng = np.random.default_rng(points.shape[0] * 31 + num_labels)
+        labels = rng.integers(0, num_labels, size=points.shape[0])
+        if np.unique(labels).size < 2:
+            labels[0] = labels.max() + 1
+        assert np.array_equal(
+            silhouette_samples(distances, labels),
+            _silhouette_samples_loop(distances, labels),
+        )
+
+
+def quantized_distances(draw_values, n):
+    """Symmetric matrix over a tiny value grid — duplicate distances abound."""
+    raw = np.asarray(draw_values, dtype=float).reshape(n, n)
+    distances = (raw + raw.T) / 2
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+@st.composite
+def tied_matrices(draw, min_points=4, max_points=14):
+    """Adversarial tied/duplicate-distance inputs for the scan-vs-chain fuzz.
+
+    Three regimes: values from a coarse integer grid (exact ties
+    everywhere, exercising the scan's row-min cache tie branch —
+    hierarchical.py's first-occurrence rule — via the chain's
+    tie-detection delegation), duplicated points (zero distances and
+    mirrored rows), and continuous values (generically tie-free, the
+    chain's native path).
+    """
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    regime = draw(st.sampled_from(["quantized", "duplicates", "continuous"]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    if regime == "quantized":
+        grid = draw(st.integers(min_value=2, max_value=4))
+        return quantized_distances(rng.integers(1, grid + 1, size=(n, n)), n)
+    if regime == "duplicates":
+        base = rng.normal(size=(max(2, n // 2), 3))
+        points = np.vstack([base, base])[:n]
+        return pairwise_distances(points)
+    return pairwise_distances(rng.normal(size=(n, 4)))
+
+
+class TestScanVersusChainProperties:
+    """`nnchain` must reproduce the scan engine on every input regime.
+
+    Tie-free inputs replay the scan's merges via the chain theorem; tied
+    inputs trip the chain's duplicate-minimum detection and delegate to
+    the scan wholesale — either way labels must agree exactly.
+    """
+
+    @given(
+        tied_matrices(),
+        st.sampled_from(["average", "single", "complete"]),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_labels_identical_under_num_clusters(self, distances, linkage, k):
+        k = min(k, distances.shape[0])
+        scan = AgglomerativeClustering(num_clusters=k, linkage=linkage)
+        chain = NNChainClustering(num_clusters=k, linkage=linkage)
+        assert np.array_equal(
+            scan.fit_predict(distances), chain.fit_predict(distances)
+        )
+        # Merge slots must agree pair-for-pair; heights agree bitwise
+        # except on the chain's native average-linkage path (~1 ulp).
+        assert [m[:2] for m in scan.merge_history_] == [
+            m[:2] for m in chain.merge_history_
+        ]
+
+    @given(tied_matrices(), st.sampled_from(["average", "single", "complete"]))
+    @settings(max_examples=40, deadline=None)
+    def test_labels_identical_under_threshold(self, distances, linkage):
+        # A threshold strictly between grid values cannot sit ulp-close to
+        # any (possibly rounded-differently) average-linkage height.
+        threshold = float(np.median(distances)) + 0.24217
+        scan = AgglomerativeClustering(distance_threshold=threshold, linkage=linkage)
+        chain = NNChainClustering(distance_threshold=threshold, linkage=linkage)
+        assert np.array_equal(
+            scan.fit_predict(distances), chain.fit_predict(distances)
+        )
