@@ -2,11 +2,13 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-fault test-distrib test-all ci ci-full \
+.PHONY: test test-fast test-fault test-distrib test-extrapolation test-all \
+        ci ci-full \
         docs-check docs-api docs-api-check bench-parallel bench-incremental \
         bench-similarity bench-ooc bench-smoke bench-concurrent \
         bench-concurrent-smoke bench-resume bench-distrib \
-        bench-distrib-smoke bench-cluster bench-cluster-smoke examples
+        bench-distrib-smoke bench-cluster bench-cluster-smoke \
+        bench-extrapolation bench-extrapolation-smoke examples
 
 # Tier-1 verify: the full suite (what CI runs on main).
 test:
@@ -31,6 +33,13 @@ test-fault:
 test-distrib:
 	$(PY) -m pytest -x -q tests/distrib
 
+# Speculative early-stopping tier: every test tagged `extrapolation` —
+# bound-math units, Eq. 5/6 edge cases, the randomized honesty properties,
+# the kill-at-every-prune-boundary crash suite and the golden regret
+# snapshot (docs/extrapolation.md).
+test-extrapolation:
+	$(PY) -m pytest -x -q -m extrapolation
+
 # Full tier: everything, including the slow examples.
 test-all:
 	$(PY) -m pytest -q
@@ -41,7 +50,7 @@ test-all:
 # relaxed throughput gate at small n) and verifies the generated API
 # reference is current.
 ci: test-fast bench-smoke bench-concurrent-smoke bench-distrib-smoke \
-    bench-cluster-smoke docs-api-check
+    bench-cluster-smoke bench-extrapolation-smoke docs-api-check
 
 ci-full: test-all docs-check
 
@@ -110,6 +119,16 @@ bench-cluster:
 
 bench-cluster-smoke:
 	$(PY) benchmarks/bench_cluster_scaling.py --smoke
+
+# Speculative early stopping: the full run gates >= 30% trained-epoch
+# reduction on a 40-model zoo with the exact arm bitwise-identical to the
+# sequential path and zero unaccounted regret; the smoke tier runs the
+# same honesty gates (relaxed >= 10% reduction) at small n on every change.
+bench-extrapolation:
+	$(PY) benchmarks/bench_extrapolation.py --json-out benchmarks/bench_extrapolation.json
+
+bench-extrapolation-smoke:
+	$(PY) benchmarks/bench_extrapolation.py --smoke
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

@@ -115,6 +115,15 @@ def _scheduler_config(args: argparse.Namespace):
     )
 
 
+def _extrapolation_config(args: argparse.Namespace):
+    """Service-level ExtrapolationConfig from ``--extrapolate`` (or None)."""
+    if not getattr(args, "extrapolate", False):
+        return None
+    from repro.core.extrapolation import ExtrapolationConfig
+
+    return ExtrapolationConfig(enabled=True)
+
+
 def _build_service(args: argparse.Namespace):
     from repro.service import SelectionService
 
@@ -126,6 +135,7 @@ def _build_service(args: argparse.Namespace):
         parallel=_parallel_config(args),
         scheduler=_scheduler_config(args),
         store_dir=getattr(args, "store_dir", None),
+        extrapolation=_extrapolation_config(args),
     )
 
 
@@ -185,6 +195,7 @@ def _cmd_select(args: argparse.Namespace, stream) -> int:
         or args.store_dir is not None
         or args.raise_budget is not None
         or args.anytime
+        or args.extrapolate
     )
     anytime = None
     if scheduled:
@@ -195,9 +206,15 @@ def _cmd_select(args: argparse.Namespace, stream) -> int:
         # persistence flags also land here: journals, budget raises and
         # anytime snapshots only exist on the scheduler's plan objects.
         try:
+            extrapolate = None
+            if args.extrapolate:
+                extrapolate = True
+            elif args.exact:
+                extrapolate = False
             handle = service.submit(args.target, top_k=args.top_k,
                                     timeout=args.timeout,
-                                    total_epochs=args.raise_budget)
+                                    total_epochs=args.raise_budget,
+                                    extrapolate=extrapolate)
             result = service.result(handle)
         except SchedulerError as error:
             return _scheduler_failure(error, stream)
@@ -310,6 +327,7 @@ def _cmd_serve(args: argparse.Namespace, stream) -> int:
         "epoch_budget": config.epoch_budget,
         "max_queue": config.max_queue,
         "zoo_version": version.key if version is not None else "v0",
+        "extrapolation": bool(getattr(args, "extrapolate", False)),
     }
     if args.store_dir is not None:
         from repro.persist import store_summary
@@ -716,6 +734,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also report the confidence-ordered anytime snapshot "
         "(current best candidate) from the selection plan",
     )
+    speculation = select.add_mutually_exclusive_group()
+    speculation.add_argument(
+        "--extrapolate",
+        action="store_true",
+        help="speculative early stopping: retire arms whose extrapolated "
+        "curve upper bound cannot beat the rung leader, charging only the "
+        "epochs actually trained (predicted/actual regret is reported in "
+        "the result extras)",
+    )
+    speculation.add_argument(
+        "--exact",
+        action="store_true",
+        help="force the exact successive-halving path (the default); "
+        "results are bitwise-identical to prior releases",
+    )
     select.add_argument("--json", action="store_true", help="emit JSON")
     select.set_defaults(handler=_cmd_select)
 
@@ -779,6 +812,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="default per-request deadline (requests may override per-op)",
+    )
+    serve.add_argument(
+        "--extrapolate",
+        action="store_true",
+        help="enable curve-extrapolation early stopping as the serve-time "
+        'default; clients opt out per request with {"exact": true}',
     )
     serve.add_argument(
         "--port",

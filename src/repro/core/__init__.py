@@ -36,6 +36,12 @@ from repro.core.convergence import (
     ConvergenceTrendMiner,
     TrendSet,
 )
+from repro.core.extrapolation import (
+    CurveBound,
+    CurveExtrapolator,
+    ExtrapolationConfig,
+    resolve_extrapolation,
+)
 from repro.core.model_clustering import ModelClusterer, ModelClustering
 from repro.core.performance import (
     PerformanceMatrix,
@@ -77,6 +83,10 @@ __all__ = [
     "ConvergenceTrend",
     "ConvergenceTrendMiner",
     "TrendSet",
+    "CurveBound",
+    "CurveExtrapolator",
+    "ExtrapolationConfig",
+    "resolve_extrapolation",
     "ModelClusterer",
     "ModelClustering",
     "PerformanceMatrix",

@@ -48,7 +48,8 @@ TargetLike = Union[str, ClassificationTask]
 
 
 def build_phase_engines(
-    artifacts, fine_tuner: FineTuner, *, parallel: ExecutorLike = None
+    artifacts, fine_tuner: FineTuner, *, parallel: ExecutorLike = None,
+    extrapolation=None,
 ):
     """Construct the online-phase engine pair for one set of offline artifacts.
 
@@ -57,7 +58,9 @@ def build_phase_engines(
     can never drift in how they wire :class:`CoarseRecall` and
     :class:`FineSelection`.  ``parallel`` (an executor, config or spec
     string) overrides ``artifacts.config.parallel`` as the executor both
-    engines fan their inner loops out over.
+    engines fan their inner loops out over.  ``extrapolation`` (an
+    :class:`~repro.core.extrapolation.ExtrapolationConfig`) sets the fine
+    selection's default speculative early-stopping mode; ``None`` is exact.
     """
     config = artifacts.config
     executor = get_executor(
@@ -76,6 +79,7 @@ def build_phase_engines(
         fine_tuner,
         config=config.fine_selection,
         executor=executor,
+        extrapolation=extrapolation,
     )
     return recall, fine_selection
 

@@ -124,9 +124,36 @@ class StagePolicy:
         stage_index: int,
         surviving: Sequence[str],
         validations: Dict[str, float],
+        *,
+        cohort_extra: int = 0,
     ) -> Tuple[List[str], StageRecord]:
-        """Apply the algorithm's stage filter; return survivors + record."""
+        """Apply the algorithm's stage filter; return survivors + record.
+
+        ``cohort_extra`` is the number of speculatively pruned arms that
+        would still occupy (bottom-ranked) slots of this stage's cohort in
+        an exact run.  Halving-style policies must fold it into their
+        keep-limit arithmetic so pruning an arm can never change the fate
+        of the arms that were *kept* — it is always 0 in exact mode, and
+        the plan only passes it when nonzero.
+        """
         raise NotImplementedError
+
+    def prune_before_stage(
+        self,
+        stage_index: int,
+        surviving: Sequence[str],
+        views: Dict[str, "SessionView"],
+        schedule: Sequence[int],
+    ) -> Tuple[List[str], Dict[str, Dict[str, object]]]:
+        """Speculative early stopping before ``stage_index`` opens.
+
+        Returns the arms to keep plus a JSON-friendly prune record per
+        retired arm.  The default is a no-op — only
+        :class:`~repro.core.selection.FineSelection` with an enabled
+        :class:`~repro.core.extrapolation.ExtrapolationConfig` overrides
+        it, so every other policy (and exact mode) is untouched.
+        """
+        return list(surviving), {}
 
 
 class SelectionPlan:
@@ -190,6 +217,10 @@ class SelectionPlan:
         self.stage_index = 0
         self.runtime_epochs = 0.0
         self.stages: List[StageRecord] = []
+        #: Arms retired by the speculative pruning hook, in decision order
+        #: (insertion-ordered): model name -> JSON-friendly prune record.
+        #: Always empty in exact mode.
+        self.pruned: Dict[str, Dict[str, object]] = {}
         self.result: Optional[SelectionResult] = None
         self.views: Dict[str, SessionView] = {}
         self.candidates: List[str] = []
@@ -318,14 +349,67 @@ class SelectionPlan:
         validations = {
             name: self.views[name].validation_accuracy() for name in self.surviving
         }
-        self.surviving, record = self._policy.filter_stage(
-            self.stage_index, self.surviving, validations
-        )
+        extra = self._cohort_extra(len(validations))
+        if extra:
+            self.surviving, record = self._policy.filter_stage(
+                self.stage_index, self.surviving, validations,
+                cohort_extra=extra,
+            )
+        else:
+            self.surviving, record = self._policy.filter_stage(
+                self.stage_index, self.surviving, validations
+            )
         self.stages.append(record)
         self.stage_index += 1
         self._stage_open = False
         if self.stage_index >= len(self._stage_epochs):
             self._finalize()
+            return
+        self._prune_speculative()
+
+    def _cohort_extra(self, live_count: int) -> int:
+        """Bottom-ranked slots the pruned arms would still hold in exact mode.
+
+        An exact halving run over ``N`` candidates enters stage ``s`` with
+        at most ``max(1, N >> s)`` arms (iterated floor-halving), and every
+        pruned arm ranks below the bar that retired it — so the exact
+        cohort is bounded by ``min(N >> s, live + pruned)`` with the pruned
+        arms filling the trailing slots.  Passing that surplus into
+        :meth:`StagePolicy.filter_stage` keeps the keep-limit cadence of
+        the exact run, so speculation can only ever retire the arms it
+        explicitly pruned — never change which *kept* arms survive a
+        filter.  Zero (exact behaviour) whenever nothing was pruned.
+        """
+        if not self.pruned:
+            return 0
+        ideal = max(1, len(self.candidates) >> self.stage_index)
+        exact_cohort = min(ideal, live_count + len(self.pruned))
+        return max(0, exact_cohort - live_count)
+
+    def _prune_speculative(self) -> None:
+        """Apply the policy's pre-stage pruning hook (no-op in exact mode).
+
+        Runs after the stage filter, before the next stage opens, so a
+        pruned arm never generates another :class:`TrainStep` — which is
+        exactly why ``runtime_epochs`` (charged per stage for the arms
+        that trained it) stays honest without any accounting change.
+        The decision is a pure function of the recorded curves, so a
+        crash/resume replay re-derives the identical prune set; the
+        ``plan.prune`` crash point marks the decision boundary for the
+        fault-injection harness.
+        """
+        if len(self.surviving) <= 1:
+            return
+        kept, pruned = self._policy.prune_before_stage(
+            self.stage_index, self.surviving, self.views, self._stage_epochs
+        )
+        if not pruned:
+            return
+        fire_crash_point(
+            "plan.prune", stage=self.stage_index, models=sorted(pruned)
+        )
+        self.surviving = kept
+        self.pruned.update(pruned)
 
     def _finalize(self) -> None:
         winner = self.surviving[0]
@@ -344,10 +428,53 @@ class SelectionPlan:
             num_candidates=len(self.candidates),
             stages=self.stages,
             final_accuracies=final_accuracies,
+            extras=self._extrapolation_extras(winner),
         )
         if self.recall_result is not None:
             result.extra_epoch_cost = self.recall_result.epoch_cost
         self.result = result
+
+    def _extrapolation_extras(self, winner: str) -> Dict[str, object]:
+        """Budget-honesty report of the speculative prunes (``{}`` when exact).
+
+        Per pruned arm: the observed/predicted accuracies behind the
+        decision, plus — when the shared underlying session happens to
+        have trained the arm to the full budget anyway (another request
+        kept going) — the ``actual_final`` accuracy it would have reached
+        and the realised ``actual_regret`` against the winner.  The
+        request-level ``regret_bound`` is the guarantee the bounds gave at
+        decision time: no pruned arm's ceiling exceeded the winner's final
+        validation accuracy by more than this.  ``epochs_saved`` sums the
+        full-budget epochs the pruned arms can no longer be charged — an
+        upper bound on realised savings, since halving might have retired
+        some of them earlier anyway.
+        """
+        if not self.pruned:
+            return {}
+        winner_val = self.views[winner].validation_accuracy()
+        budget = sum(self._stage_epochs)
+        pruned_payload: Dict[str, object] = {}
+        regret_bound = 0.0
+        for name, record in self.pruned.items():
+            entry = dict(record)
+            curve = self.views[name].curve
+            if len(curve.val_accuracy) >= budget:
+                actual = float(curve.val_accuracy[budget - 1])
+                entry["actual_final"] = actual
+                entry["actual_regret"] = max(0.0, actual - winner_val)
+            regret_bound = max(
+                regret_bound, float(record["upper_bound"]) - winner_val
+            )
+            pruned_payload[name] = entry
+        return {
+            "extrapolation": {
+                "pruned": pruned_payload,
+                "epochs_saved": float(
+                    sum(float(r["epochs_saved"]) for r in self.pruned.values())
+                ),
+                "regret_bound": max(0.0, regret_bound),
+            }
+        }
 
     # ------------------------------------------------------------------ #
     # results
@@ -426,6 +553,7 @@ class SelectionPlan:
             "stage": self.stage_index,
             "num_stages": self.num_stages,
             "surviving": list(self.surviving),
+            "pruned": list(self.pruned),
             "runtime_epochs": self.runtime_epochs,
             "stages_completed": [
                 {

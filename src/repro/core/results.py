@@ -71,7 +71,11 @@ class SelectionResult:
 
     ``runtime_epochs`` counts fine-tuning epochs exactly as the paper's
     Tables V/VI do; ``extra_epoch_cost`` carries non-training costs such as
-    the proxy-score inference of the coarse-recall phase.
+    the proxy-score inference of the coarse-recall phase.  ``extras`` holds
+    optional, JSON-friendly side records — today the speculative
+    early-stopping layer's prune/regret accounting (see
+    :mod:`repro.core.extrapolation`); it stays empty on the exact path, so
+    exact-mode results are unchanged by its existence.
     """
 
     method: str
@@ -84,6 +88,7 @@ class SelectionResult:
     stages: List[StageRecord] = field(default_factory=list)
     final_accuracies: Dict[str, float] = field(default_factory=dict)
     extra_epoch_cost: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_cost(self) -> float:

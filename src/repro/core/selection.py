@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import FineSelectionConfig
 from repro.core.convergence import ConvergenceTrendMiner
+from repro.core.extrapolation import CurveExtrapolator, ExtrapolationConfig
 from repro.core.performance import PerformanceMatrix
 from repro.core.plan import SelectionPlan, SessionView, StagePolicy, TrainStep
 from repro.core.results import SelectionResult, StageRecord
@@ -130,6 +131,8 @@ class BruteForceSelection(_SelectionBase):
         stage_index: int,
         surviving: Sequence[str],
         validations: Dict[str, float],
+        *,
+        cohort_extra: int = 0,
     ) -> Tuple[List[str], StageRecord]:
         """Keep the best validator (earlier candidate wins ties)."""
         names = list(surviving)
@@ -157,12 +160,16 @@ class SuccessiveHalving(_SelectionBase):
         stage_index: int,
         surviving: Sequence[str],
         validations: Dict[str, float],
+        *,
+        cohort_extra: int = 0,
     ) -> Tuple[List[str], StageRecord]:
         """Drop the worse half of the surviving candidates."""
         kept = list(surviving)
         removed: List[str] = []
-        if len(kept) > 1:
-            keep = max(1, len(kept) // 2)
+        if len(kept) + cohort_extra > 1:
+            keep = min(
+                len(kept), max(1, (len(kept) + cohort_extra) // 2)
+            )
             ordered = sorted(kept, key=lambda name: -validations[name])
             removed = ordered[keep:]
             kept = ordered[:keep]
@@ -189,12 +196,18 @@ class FineSelection(_SelectionBase):
         config: Optional[FineSelectionConfig] = None,
         trend_miner: Optional[ConvergenceTrendMiner] = None,
         executor: Optional[Executor] = None,
+        extrapolation: Optional[ExtrapolationConfig] = None,
     ) -> None:
         super().__init__(hub, fine_tuner, config=config, executor=executor)
         self.matrix = matrix
         self.trend_miner = trend_miner or ConvergenceTrendMiner(
             num_trends=self.config.num_trends
         )
+        #: Speculative early-stopping config; ``None`` (or disabled) keeps
+        #: the exact, paper-faithful path.  Mutable so the scheduler's
+        #: per-request policy clone can override it without rebuilding the
+        #: engine (mirrors the ``total_epochs`` budget override).
+        self.extrapolation = extrapolation
 
     # ------------------------------------------------------------------ #
     def stage_schedule(self) -> List[int]:
@@ -207,13 +220,15 @@ class FineSelection(_SelectionBase):
         stage_index: int,
         surviving: Sequence[str],
         validations: Dict[str, float],
+        *,
+        cohort_extra: int = 0,
     ) -> Tuple[List[str], StageRecord]:
         """Trend-filter then halve the stage's survivors (Algorithm 1)."""
         kept = list(surviving)
         predicted: Dict[str, float] = {}
         removed_by_trend: List[str] = []
         removed_by_halving: List[str] = []
-        if len(kept) > 1:
+        if len(kept) + cohort_extra > 1:
             stage_number = (stage_index + 1) * self.config.validation_interval
             if self.config.use_trend_filter:
                 predicted = self._predict_final_accuracies(
@@ -223,7 +238,9 @@ class FineSelection(_SelectionBase):
                     kept, validations, predicted
                 )
             kept, removed_by_halving = self._halve(
-                kept, validations, original_count=len(validations)
+                kept,
+                validations,
+                original_count=len(validations) + cohort_extra,
             )
         record = StageRecord(
             stage=stage_index,
@@ -234,6 +251,77 @@ class FineSelection(_SelectionBase):
             removed_by_halving=removed_by_halving,
         )
         return kept, record
+
+    # ------------------------------------------------------------------ #
+    def prune_before_stage(
+        self,
+        stage_index: int,
+        surviving: Sequence[str],
+        views: Dict[str, SessionView],
+        schedule: Sequence[int],
+    ) -> Tuple[List[str], Dict[str, Dict[str, object]]]:
+        """Retire arms whose extrapolated ceiling cannot beat the rung leader.
+
+        Fires between stages, after the Algorithm 1 filter.  The current
+        leader (best validator, earlier candidate breaking ties — the same
+        rule every stage filter uses) is always kept; any other arm is
+        pruned when its :class:`~repro.core.extrapolation.CurveBound` upper
+        bound is *strictly below* the leader's trajectory — the max of its
+        already-observed validation accuracy and its own Eq. 5/6 predicted
+        final — i.e. even the optimistic reading of the arm's benchmark
+        history cannot catch where the leader already is or is headed.
+        Deterministic, so a journal replay re-derives the identical prune
+        set.
+        """
+        config = self.extrapolation
+        if config is None or not config.enabled or len(surviving) <= 1:
+            return list(surviving), {}
+        if stage_index < config.min_stages:
+            return list(surviving), {}
+        stage_epoch = sum(int(epochs) for epochs in schedule[:stage_index])
+        if stage_epoch < 1:
+            return list(surviving), {}
+        budget = sum(int(epochs) for epochs in schedule)
+        names = list(surviving)
+        validations = {name: views[name].validation_accuracy() for name in names}
+        leader = max(names, key=lambda name: (validations[name], -names.index(name)))
+        extrapolator = self._extrapolator(config)
+        leader_bound = extrapolator.bound(
+            leader, validations[leader], stage_epoch=stage_epoch
+        )
+        bar = max(float(validations[leader]), leader_bound.predicted_final)
+        kept: List[str] = []
+        pruned: Dict[str, Dict[str, object]] = {}
+        for name in names:
+            if name == leader:
+                kept.append(name)
+                continue
+            bound = extrapolator.bound(
+                name, validations[name], stage_epoch=stage_epoch
+            )
+            if bound.upper_bound < bar:
+                pruned[name] = {
+                    "stage": int(stage_index),
+                    "epoch": int(stage_epoch),
+                    "observed_val": float(bound.observed_val),
+                    "predicted_final": float(bound.predicted_final),
+                    "upper_bound": float(bound.upper_bound),
+                    "leader": leader,
+                    "leader_val": float(validations[leader]),
+                    "leader_predicted": float(bar),
+                    "epochs_saved": int(budget - stage_epoch),
+                }
+            else:
+                kept.append(name)
+        return kept, pruned
+
+    def _extrapolator(self, config: ExtrapolationConfig) -> CurveExtrapolator:
+        """Per-config extrapolator, cached so shared plans rebuild nothing."""
+        cached = getattr(self, "_extrapolator_cache", None)
+        if cached is None or cached[0] is not config:
+            cached = (config, CurveExtrapolator(self.matrix, config=config))
+            self._extrapolator_cache = cached
+        return cached[1]
 
     # ------------------------------------------------------------------ #
     def _predict_final_accuracies(

@@ -80,6 +80,9 @@ def encode_selection(result: SelectionResult) -> Dict[str, object]:
         "stages": [encode_stage(record) for record in result.stages],
         "final_accuracies": dict(result.final_accuracies),
         "extra_epoch_cost": result.extra_epoch_cost,
+        # Written only when present so exact-mode journal payloads stay
+        # byte-identical to those of releases that predate ``extras``.
+        **({"extras": dict(result.extras)} if result.extras else {}),
     }
 
 
@@ -96,6 +99,7 @@ def decode_selection(payload: Dict[str, object]) -> SelectionResult:
         stages=[decode_stage(stage) for stage in payload["stages"]],
         final_accuracies=dict(payload["final_accuracies"]),
         extra_epoch_cost=payload["extra_epoch_cost"],
+        extras=dict(payload.get("extras", {})),  # absent in older journals
     )
 
 

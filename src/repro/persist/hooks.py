@@ -6,6 +6,9 @@ calling :func:`fire_crash_point` with a site name:
 
 * ``"plan.step"`` — a selection plan is about to record one completed
   training step (the step-boundary of the resumable state machine);
+* ``"plan.prune"`` — the speculative early-stopping hook decided to
+  retire one or more arms but nothing has been mutated or journaled yet
+  (the decision boundary of :mod:`repro.core.extrapolation`);
 * ``"journal.append"`` — a journal record is about to be written;
 * ``"journal.flush"`` — a journal record was written but not yet flushed;
 * ``"publish"`` — a session snapshot's temporary file is fully written

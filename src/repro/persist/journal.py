@@ -31,8 +31,11 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.cache.keys import fingerprint_text
 from repro.persist.hooks import fire_crash_point
 
-#: Record types written by the scheduler's persistence path.
-RECORD_TYPES = ("request", "recall", "step", "stage", "result")
+#: Record types written by the scheduler's persistence path.  ``prune``
+#: records document speculative early-stop decisions (audit trail only —
+#: replay re-derives the prune set deterministically from the ``step``
+#: records, so an old journal without them still resumes correctly).
+RECORD_TYPES = ("request", "recall", "step", "stage", "result", "prune")
 
 
 def _checksum(seq: int, record_type: str, payload: Dict[str, object]) -> str:

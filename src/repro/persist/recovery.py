@@ -45,6 +45,10 @@ class RecoveredRequest:
     dropped_records: int = 0
     journal_file: str = ""
     result_schedules: List[List[int]] = field(default_factory=list)
+    #: Speculative early-stopping knobs the request ran under (``None``
+    #: for exact mode) — resubmitting under the same mode is what makes
+    #: the resumed run reopen the same journal.
+    extrapolation: Optional[Dict[str, object]] = None
 
 
 def _scan_journal(journal: PlanJournal) -> Optional[RecoveredRequest]:
@@ -69,6 +73,11 @@ def _scan_journal(journal: PlanJournal) -> Optional[RecoveredRequest]:
         dropped_records=journal.dropped_records,
         journal_file=str(journal.path),
         result_schedules=result_schedules,
+        extrapolation=(
+            dict(latest["extrapolation"])
+            if isinstance(latest.get("extrapolation"), dict)
+            else None
+        ),
     )
 
 

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache import fingerprint_task, fingerprint_text
 from repro.cache import plan_key as make_plan_key
+from repro.core.extrapolation import ExtrapolationConfig, resolve_extrapolation
 from repro.core.plan import SelectionPlan, TrainStep
 from repro.core.results import RecallResult, TwoPhaseResult
 from repro.data.tasks import ClassificationTask
@@ -217,6 +218,8 @@ class EpochScheduler:
         self._results_restored = 0
         self._recalls_restored = 0
         self._journal_errors = 0
+        self._arms_pruned = 0
+        self._prunes_replayed = 0
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -284,6 +287,7 @@ class EpochScheduler:
         timeout: Optional[float] = None,
         epoch_quota: Optional[int] = None,
         total_epochs: Optional[int] = None,
+        extrapolate: Union[None, bool, ExtrapolationConfig] = None,
     ) -> SelectionRequest:
         """Enqueue one selection request; returns its handle immediately.
 
@@ -293,18 +297,37 @@ class EpochScheduler:
         run wrote — journals are keyed without the schedule — so the longer
         run replays the old rungs and charges only the delta epochs.
 
+        ``extrapolate`` overrides the policy's speculative early-stopping
+        mode for this request only: ``True`` (or an
+        :class:`~repro.core.extrapolation.ExtrapolationConfig`) enables
+        curve-extrapolation pruning, ``False`` forces exact mode, ``None``
+        inherits the policy's default.  An enabled config becomes part of
+        the request's plan key, so speculative and exact runs of the same
+        target never share a journal.
+
         Raises :class:`~repro.utils.exceptions.QueueFullError` when the
         bounded admission queue is full (backpressure) and
         :class:`~repro.utils.exceptions.SchedulerError` after
         :meth:`close`.
         """
         context = self._context_provider()
-        if total_epochs is not None:
-            # Per-request policy clone: shared engines, private budget.
+        extrapolation = resolve_extrapolation(extrapolate)
+        if total_epochs is not None or extrapolation is not None:
+            # Per-request policy clone: shared engines, private budget/mode.
             policy = copy.copy(context.fine_selection)
-            policy.config = dataclasses.replace(
-                policy.config, total_epochs=int(total_epochs)
-            )
+            if total_epochs is not None:
+                policy.config = dataclasses.replace(
+                    policy.config, total_epochs=int(total_epochs)
+                )
+            if extrapolation is not None:
+                if not hasattr(policy, "extrapolation"):
+                    if extrapolation.enabled:
+                        raise SchedulerError(
+                            f"policy {policy.method!r} does not support "
+                            "curve-extrapolation early stopping"
+                        )
+                else:
+                    policy.extrapolation = extrapolation
             context = dataclasses.replace(context, fine_selection=policy)
         task = _resolve_task(context, target)
         if timeout is None:
@@ -335,16 +358,36 @@ class EpochScheduler:
             self._wake.notify_all()
         return request
 
+    @staticmethod
+    def _active_extrapolation(
+        context: SchedulerContext,
+    ) -> Optional[ExtrapolationConfig]:
+        """The context's extrapolation config, if present *and* enabled."""
+        config = getattr(context.fine_selection, "extrapolation", None)
+        if config is not None and config.enabled:
+            return config
+        return None
+
     def _plan_key(self, context: SchedulerContext, task, top_k) -> str:
-        """Journal identity of one request (schedule deliberately excluded)."""
+        """Journal identity of one request (schedule deliberately excluded).
+
+        An *enabled* extrapolation config is folded into the method
+        component: speculative runs prune arms the exact path would train,
+        so their journals must never be shared — while exact-mode keys
+        stay byte-identical to those of earlier releases.
+        """
         tuner = context.fine_tuner
         tuner_fingerprint = fingerprint_text(
             "finetuner", str(tuner._rng_factory.root_seed), repr(tuner.config)
         )
+        method = context.fine_selection.method
+        extrapolation = self._active_extrapolation(context)
+        if extrapolation is not None:
+            method = f"{method}+{extrapolation.fingerprint()}"
         return make_plan_key(
             context.version_key,
             fingerprint_task(task),
-            method=context.fine_selection.method,
+            method=method,
             tuner_fingerprint=tuner_fingerprint,
             top_k=top_k,
         )
@@ -582,18 +625,25 @@ class EpochScheduler:
         ]
         latest = journal.last_of_type("request")
         if latest is None or list(latest["payload"].get("schedule", [])) != schedule:
-            self._journal_append(
-                request,
-                "request",
-                {
-                    "plan_key": request.plan_key,
-                    "target": request.target_name,
-                    "version_key": request.context.version_key,
-                    "method": request.context.fine_selection.method,
-                    "top_k": request.top_k,
-                    "schedule": schedule,
-                },
-            )
+            payload: Dict[str, object] = {
+                "plan_key": request.plan_key,
+                "target": request.target_name,
+                "version_key": request.context.version_key,
+                "method": request.context.fine_selection.method,
+                "top_k": request.top_k,
+                "schedule": schedule,
+            }
+            extrapolation = self._active_extrapolation(request.context)
+            if extrapolation is not None:
+                # Recorded so startup recovery resubmits the request under
+                # the same speculative mode (and hence the same plan key).
+                payload["extrapolation"] = {
+                    "enabled": True,
+                    "min_stages": extrapolation.min_stages,
+                    "slack": extrapolation.slack,
+                    "num_trends": extrapolation.num_trends,
+                }
+            self._journal_append(request, "request", payload)
         try:
             for record in journal.of_type("result"):
                 if list(record["payload"].get("schedule", [])) == schedule:
@@ -699,6 +749,12 @@ class EpochScheduler:
             self._pool.record_round(charged=charged, trained=trained)
             with self._lock:
                 self._epochs_replayed += charged
+        if plan.pruned:
+            # Prunes re-derived while replaying journaled steps — the
+            # resumed process reaches the same decisions the crashed one
+            # journaled, without retraining (or recharging) stopped arms.
+            with self._lock:
+                self._prunes_replayed += len(plan.pruned)
 
     def _journal_append(
         self, request: SelectionRequest, record_type: str, payload: Dict[str, object]
@@ -900,6 +956,7 @@ class EpochScheduler:
                     with self._lock:
                         self._journal_errors += 1
             stages_before = len(request.plan.stages)
+            prunes_before = len(request.plan.pruned)
             request.plan.complete(step)
             self._journal_append(
                 request,
@@ -908,6 +965,18 @@ class EpochScheduler:
             )
             for stage_record in request.plan.stages[stages_before:]:
                 self._journal_append(request, "stage", encode_stage(stage_record))
+            # Early-stop decisions are journaled like stage transitions: a
+            # resumed run re-derives them deterministically from the
+            # replayed curves, and the records make the prune set auditable
+            # without replaying.
+            new_prunes = list(request.plan.pruned.items())[prunes_before:]
+            if new_prunes:
+                with self._lock:
+                    self._arms_pruned += len(new_prunes)
+                for model, prune_record in new_prunes:
+                    self._journal_append(
+                        request, "prune", {"model": model, **prune_record}
+                    )
         # Dedup makes reuse explicit: epochs charged to requests minus
         # epochs actually trained this round is the pool's saving.
         self._pool.record_round(charged=charged_total, trained=trained_total)
@@ -1014,9 +1083,27 @@ class EpochScheduler:
                 if entry.schedule and entry.schedule != current_schedule
                 else None
             )
+            # A journal without an extrapolation record ran exact — force
+            # exact on resubmit (``False``, not ``None``) so a scheduler
+            # whose *default* policy speculates still reopens the exact
+            # journal under its original plan key, and vice versa.
+            extrapolate: Union[bool, ExtrapolationConfig] = False
+            if entry.extrapolation is not None:
+                try:
+                    extrapolate = ExtrapolationConfig(
+                        enabled=True,
+                        min_stages=int(entry.extrapolation["min_stages"]),
+                        slack=float(entry.extrapolation["slack"]),
+                        num_trends=int(entry.extrapolation["num_trends"]),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue  # unreadable mode record: leave it pending
             try:
                 request = self.submit(
-                    entry.target, top_k=entry.top_k, total_epochs=raise_to
+                    entry.target,
+                    top_k=entry.top_k,
+                    total_epochs=raise_to,
+                    extrapolate=extrapolate,
                 )
             except (SchedulerError, QueueFullError):
                 break  # closed or saturated: remaining journals stay pending
@@ -1045,6 +1132,7 @@ class EpochScheduler:
                 "completed": self._completed,
                 "failed": self._failed,
                 "rounds": self._rounds,
+                "arms_pruned": self._arms_pruned,
                 "session_pool": self._pool.stats(),
             }
             if self._persist is not None:
@@ -1053,6 +1141,7 @@ class EpochScheduler:
                     "epochs_replayed": self._epochs_replayed,
                     "results_restored": self._results_restored,
                     "recalls_restored": self._recalls_restored,
+                    "prunes_replayed": self._prunes_replayed,
                     "journal_errors": self._journal_errors,
                 }
         return report

@@ -51,6 +51,7 @@ Typical use::
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Union
@@ -58,6 +59,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.cache import cache_stats
 from repro.core.batch import BatchSelectionReport
 from repro.core.config import PipelineConfig
+from repro.core.extrapolation import ExtrapolationConfig
 from repro.core.pipeline import OfflineArtifacts, TwoPhaseSelector
 from repro.core.results import RecallResult, TwoPhaseResult
 from repro.data.tasks import ClassificationTask
@@ -104,6 +106,13 @@ class SelectionService:
         a previous process died, finished requests answer straight from
         disk, and a later :meth:`submit` with a raised ``total_epochs``
         continues from the journaled rungs.
+    extrapolation:
+        Optional :class:`~repro.core.extrapolation.ExtrapolationConfig`
+        making curve-extrapolation early stopping the *default* for
+        scheduled requests (each :meth:`submit` can still override with
+        ``extrapolate=``).  ``None`` — the default — is exact mode; the
+        blocking :meth:`select` path is always exact.  See
+        ``docs/extrapolation.md``.
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class SelectionService:
         scheduler: Optional[SchedulerConfig] = None,
         seed: int = 0,
         store_dir: Optional[str] = None,
+        extrapolation: Optional[ExtrapolationConfig] = None,
     ) -> None:
         self.artifacts = artifacts
         if parallel is None:
@@ -134,6 +144,7 @@ class SelectionService:
         self._scheduler_config = scheduler or SchedulerConfig()
         self._scheduler: Optional[EpochScheduler] = None
         self._persist = PlanStore(store_dir) if store_dir is not None else None
+        self._extrapolation = extrapolation
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -150,6 +161,7 @@ class SelectionService:
         scheduler: Optional[SchedulerConfig] = None,
         seed: int = 0,
         store_dir: Optional[str] = None,
+        extrapolation: Optional[ExtrapolationConfig] = None,
     ) -> "SelectionService":
         """Run the offline phase for ``hub`` and wrap it in a service."""
         artifacts = OfflineArtifacts.build(
@@ -162,6 +174,7 @@ class SelectionService:
             scheduler=scheduler,
             seed=seed,
             store_dir=store_dir,
+            extrapolation=extrapolation,
         )
 
     @classmethod
@@ -176,6 +189,7 @@ class SelectionService:
         parallel: ExecutorLike = None,
         scheduler: Optional[SchedulerConfig] = None,
         store_dir: Optional[str] = None,
+        extrapolation: Optional[ExtrapolationConfig] = None,
     ) -> "SelectionService":
         """Build the simulated repository for ``modality`` and serve it.
 
@@ -192,7 +206,7 @@ class SelectionService:
         config = config or PipelineConfig.for_modality(modality)
         return cls.from_hub(
             hub, suite, config=config, parallel=parallel, scheduler=scheduler,
-            seed=seed, store_dir=store_dir,
+            seed=seed, store_dir=store_dir, extrapolation=extrapolation,
         )
 
     # ------------------------------------------------------------------ #
@@ -239,10 +253,16 @@ class SelectionService:
             selector = self._selector
             artifacts = self.artifacts
         version = artifacts.version
+        fine_selection = selector._fine_selection
+        if self._extrapolation is not None and self._extrapolation.enabled:
+            # Policy clone so the service-level speculative default never
+            # leaks into the blocking (always-exact) selector path.
+            fine_selection = copy.copy(fine_selection)
+            fine_selection.extrapolation = self._extrapolation
         return SchedulerContext(
             artifacts=artifacts,
             recall=selector._recall,
-            fine_selection=selector._fine_selection,
+            fine_selection=fine_selection,
             version_key=version.key if version is not None else "v0",
             fine_tuner=selector.fine_tuner,
         )
@@ -276,6 +296,7 @@ class SelectionService:
         timeout: Optional[float] = None,
         epoch_quota: Optional[int] = None,
         total_epochs: Optional[int] = None,
+        extrapolate: Union[None, bool, ExtrapolationConfig] = None,
     ) -> SelectionRequest:
         """Enqueue a request with the epoch scheduler; return its handle.
 
@@ -285,7 +306,11 @@ class SelectionService:
         :meth:`select`.  ``total_epochs`` overrides this request's fine
         selection budget (the raise-budget verb — with a plan store, a
         finished request resubmitted under a larger budget continues from
-        its journaled rungs).  Raises
+        its journaled rungs).  ``extrapolate`` overrides the service's
+        speculative early-stopping default for this request: ``True`` (or
+        an :class:`~repro.core.extrapolation.ExtrapolationConfig`) prunes
+        arms whose extrapolated ceiling cannot win, ``False`` forces exact
+        mode (see ``docs/extrapolation.md``).  Raises
         :class:`~repro.utils.exceptions.QueueFullError` when the bounded
         admission queue rejects the request (backpressure); ``timeout``
         and ``epoch_quota`` bound the request's wall time and charged
@@ -298,6 +323,7 @@ class SelectionService:
             timeout=timeout,
             epoch_quota=epoch_quota,
             total_epochs=total_epochs,
+            extrapolate=extrapolate,
         )
 
     def poll(self, request: SelectionRequest, *, best: bool = False) -> Dict[str, object]:

@@ -11,7 +11,10 @@ epoch scheduler.  One request or response per line:
   ``result`` (or ``failed``) event.  With ``"total_epochs"`` (alias
   ``"raise_budget"``) the request runs under a larger fine-selection
   budget — against a plan store this continues a finished request from its
-  journaled rungs instead of restarting it.
+  journaled rungs instead of restarting it.  ``"extrapolate": true``
+  enables curve-extrapolation early stopping for this request;
+  ``"exact": true`` forces the bitwise paper-faithful path regardless of
+  the server's ``--extrapolate`` default (``docs/extrapolation.md``).
 * ``{"op": "poll", "id": "r1"}`` — progress snapshot of one request;
   ``"best": true`` adds the anytime answer (current best candidate with
   confidence ordering) while the request is still training.
@@ -58,7 +61,7 @@ _POLL_INTERVAL = 0.02
 
 def result_payload(result: TwoPhaseResult) -> Dict[str, object]:
     """JSON-friendly view of one two-phase result (shared with the CLI)."""
-    return {
+    payload = {
         "target": result.target_name,
         "selected_model": result.selected_model,
         "selected_accuracy": result.selected_accuracy,
@@ -67,6 +70,13 @@ def result_payload(result: TwoPhaseResult) -> Dict[str, object]:
         "recall_epoch_cost": result.recall.epoch_cost,
         "recalled_models": list(result.recall.recalled_models),
     }
+    extrapolation = result.selection.extras.get("extrapolation")
+    if extrapolation:
+        # Budget-honesty accounting of speculative early stops: which arms
+        # were pruned, the epochs saved and the regret bound at decision
+        # time.  Absent on the exact path, so exact payloads are unchanged.
+        payload["extrapolation"] = extrapolation
+    return payload
 
 
 def error_payload(error: Exception) -> Dict[str, object]:
@@ -196,12 +206,20 @@ class ServeFrontEnd:
             return {"event": "error", "id": message.get("id"),
                     "message": "select needs a 'target' string"}
         total_epochs = message.get("total_epochs", message.get("raise_budget"))
+        # Per-request speculative mode: "exact" wins over "extrapolate";
+        # absent both, the service default applies.
+        extrapolate = None
+        if message.get("exact"):
+            extrapolate = False
+        elif message.get("extrapolate"):
+            extrapolate = True
         handle = self.service.submit(
             target,
             top_k=message.get("top_k"),
             timeout=message.get("timeout", self.default_timeout),
             epoch_quota=message.get("epoch_quota"),
             total_epochs=total_epochs,
+            extrapolate=extrapolate,
         )
         request_id = message.get("id", f"req-{handle.id}")
         emitter.track(request_id, handle)

@@ -1,0 +1,140 @@
+"""Edge cases of the Eq. 5/6 trend machinery the extrapolation layer leans on.
+
+The speculative early-stopping bound (:mod:`repro.core.extrapolation`)
+calls the trend miner on whatever offline curves exist — including
+degenerate shapes a healthy benchmark run rarely produces: a single trend,
+tied match distances, curves shorter than the requested stage, and
+perfectly flat curves.  Each case must stay deterministic, because prune
+decisions derived from these predictions are replayed bitwise on
+crash/resume.
+"""
+
+import pytest
+
+from repro.core.convergence import ConvergenceTrend, ConvergenceTrendMiner, TrendSet
+from repro.utils.exceptions import DataError
+from repro.zoo.finetune import LearningCurve
+
+pytestmark = pytest.mark.extrapolation
+
+
+def curve(name, vals, tests=None):
+    return LearningCurve(
+        "m", name, val_accuracy=list(vals),
+        test_accuracy=list(tests if tests is not None else vals),
+    )
+
+
+class TestSingleTrend:
+    def test_single_dataset_yields_single_trend(self):
+        trend_set = ConvergenceTrendMiner(num_trends=4).mine(
+            "m", {"only": curve("only", [0.5, 0.7], [0.5, 0.8])}, stage=1
+        )
+        assert len(trend_set.trends) == 1
+        assert trend_set.trends[0].dataset_names == ("only",)
+
+    def test_single_trend_predicts_its_mean_for_any_reading(self):
+        trend_set = TrendSet(
+            model_name="m",
+            stage=1,
+            trends=[ConvergenceTrend(0, 0.5, 0.75, ("a", "b"))],
+        )
+        for reading in (0.0, 0.5, 1.0):
+            assert trend_set.predict(reading) == 0.75
+
+    def test_requested_trends_above_dataset_count_clamp(self):
+        curves = {"a": curve("a", [0.2]), "b": curve("b", [0.9])}
+        trend_set = ConvergenceTrendMiner(num_trends=16).mine("m", curves, stage=1)
+        assert len(trend_set.trends) == 2
+
+
+class TestTiedMatchDistances:
+    def make_trend_set(self):
+        return TrendSet(
+            model_name="m",
+            stage=1,
+            trends=[
+                ConvergenceTrend(0, 0.40, 0.45, ("low",)),
+                ConvergenceTrend(1, 0.60, 0.90, ("high",)),
+            ],
+        )
+
+    def test_equidistant_reading_breaks_ties_to_the_first_trend(self):
+        # 0.50 is exactly 0.10 from both trends; min() keeps the first of
+        # the list, which mining sorts by ascending validation accuracy —
+        # so ties deterministically resolve to the *lower* trend.
+        trend_set = self.make_trend_set()
+        matched = trend_set.match(0.50)
+        assert matched is trend_set.trends[0]
+        assert trend_set.predict(0.50) == 0.45
+
+    def test_tie_break_is_stable_across_calls(self):
+        trend_set = self.make_trend_set()
+        assert all(trend_set.match(0.50) is trend_set.trends[0] for _ in range(5))
+
+    def test_mined_trends_are_sorted_so_the_tie_rule_is_meaningful(self):
+        curves = {
+            "low0": curve("low0", [0.40]), "low1": curve("low1", [0.40]),
+            "high0": curve("high0", [0.60]), "high1": curve("high1", [0.60]),
+        }
+        trend_set = ConvergenceTrendMiner(num_trends=2).mine("m", curves, stage=1)
+        vals = [trend.val_accuracy for trend in trend_set.trends]
+        assert vals == sorted(vals)
+        assert trend_set.match(0.50) is trend_set.trends[0]
+
+
+class TestShortCurves:
+    def test_stage_beyond_length_clamps_to_the_last_epoch(self):
+        short = curve("short", [0.3, 0.6])
+        assert short.val_at(99) == short.val_at(2)
+
+    def test_mining_past_every_curve_matches_mining_at_the_end(self):
+        curves = {
+            "a": curve("a", [0.2, 0.4]),
+            "b": curve("b", [0.7, 0.8]),
+        }
+        miner = ConvergenceTrendMiner(num_trends=2)
+        at_end = miner.mine("m", curves, stage=2)
+        beyond = miner.mine("m", curves, stage=50)
+        assert [t.val_accuracy for t in beyond.trends] == [
+            t.val_accuracy for t in at_end.trends
+        ]
+        assert [t.test_accuracy for t in beyond.trends] == [
+            t.test_accuracy for t in at_end.trends
+        ]
+
+    def test_mixed_lengths_cluster_on_clamped_readings(self):
+        curves = {
+            "long": curve("long", [0.1, 0.5, 0.9]),
+            "short": curve("short", [0.85]),
+        }
+        trend_set = ConvergenceTrendMiner(num_trends=2).mine("m", curves, stage=3)
+        # At stage 3 the short curve reads its (only) epoch, 0.85 — close
+        # to the long curve's 0.9, but still two separable values.
+        labels = trend_set.trend_labels()
+        assert set(labels) == {"long", "short"}
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(DataError):
+            curve("empty", []).val_at(1)
+
+
+class TestFlatCurves:
+    def test_identical_flat_curves_collapse_to_one_trend(self):
+        curves = {f"d{i}": curve(f"d{i}", [0.5, 0.5, 0.5]) for i in range(6)}
+        trend_set = ConvergenceTrendMiner(num_trends=4).mine("m", curves, stage=2)
+        assert len(trend_set.trends) == 1
+        assert trend_set.trends[0].val_accuracy == 0.5
+        assert trend_set.trends[0].size == 6
+
+    def test_flat_curve_prediction_is_exact(self):
+        curves = {f"d{i}": curve(f"d{i}", [0.5], [0.62]) for i in range(3)}
+        trend_set = ConvergenceTrendMiner(num_trends=2).mine("m", curves, stage=1)
+        assert trend_set.predict(0.5) == pytest.approx(0.62)
+
+    def test_near_flat_values_do_not_crash_kmeans(self):
+        curves = {
+            f"d{i}": curve(f"d{i}", [0.5 + 1e-12 * i]) for i in range(4)
+        }
+        trend_set = ConvergenceTrendMiner(num_trends=3).mine("m", curves, stage=1)
+        assert 1 <= len(trend_set.trends) <= 3

@@ -36,8 +36,12 @@ import repro
 from repro.distrib.wire import connect_with_retry
 from repro.persist import SimulatedCrash, install_hook, remove_hook
 
-#: Every named crash site the persistence path declares.
-CRASH_SITES = ("plan.step", "journal.append", "journal.flush", "publish")
+#: Every named crash site the persistence path declares.  ``plan.prune``
+#: fires only for requests with speculative early stopping enabled, at the
+#: decision boundary *before* a prune set is applied.
+CRASH_SITES = (
+    "plan.step", "plan.prune", "journal.append", "journal.flush", "publish"
+)
 
 #: Exit status of the environment failpoint (mirrors a SIGKILL's 128+9).
 FAILPOINT_EXIT_CODE = 137

@@ -11,6 +11,8 @@ This module enumerates the boundaries of a real run (rather than guessing
 their count) and kills at each one in turn.
 """
 
+import dataclasses
+
 import pytest
 
 from harness import assert_bitwise_equal, counting, crash_at
@@ -20,6 +22,10 @@ from repro.sched import EpochScheduler
 from repro.zoo.finetune import FineTuner
 
 TARGET, TOP_K = "mnli", 5
+#: Request shape of the speculative (early-stopping) crash tests — the
+#: successive-halving ablation over a widened pool fires multiple
+#: ``plan.prune`` boundaries on the reduced hub.
+SPEC_TARGET, SPEC_TOP_K = "boolq", 8
 
 
 def make_scheduler(artifacts, store, fine_tuner):
@@ -199,6 +205,149 @@ class TestBudgetRaise:
         stats = s2.stats()
         assert stats["persist"]["results_restored"] == 1
         assert stats["session_pool"]["epochs_trained"] == 0
+
+
+@pytest.fixture(scope="module")
+def spec_artifacts(artifacts):
+    """The halving ablation: with the paper's trend filter the cohort
+    collapses to one arm after the first rung, so speculative pruning (and
+    its ``plan.prune`` crash site) would never fire."""
+    config = artifacts.config
+    return dataclasses.replace(
+        artifacts,
+        config=dataclasses.replace(
+            config,
+            fine_selection=dataclasses.replace(
+                config.fine_selection, use_trend_filter=False
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def speculative_oracle(spec_artifacts, fine_tuner):
+    """The never-crashed speculative run every resumed run must match."""
+    scheduler = make_scheduler(spec_artifacts, None, fine_tuner)
+    handle = scheduler.submit(SPEC_TARGET, top_k=SPEC_TOP_K, extrapolate=True)
+    scheduler.run_until_idle()
+    result = scheduler.result(handle, timeout=10)
+    assert result.selection.extras.get("extrapolation"), (
+        "the speculative crash tests need a request that actually prunes"
+    )
+    return result
+
+
+@pytest.mark.extrapolation
+class TestKillAtEveryPruneBoundary:
+    """Crash-safety of speculative early stopping: the prune set replays.
+
+    The prune decision is a pure function of the journaled curves, so a
+    scheduler killed at *any* early-stop decision boundary must resume to
+    a result bitwise-identical to the never-crashed speculative run — the
+    identical prune set, the identical honesty extras — with every
+    journaled epoch charged by replay rather than trained (and thus
+    charged) a second time.
+    """
+
+    def run_and_crash_speculative(self, artifacts, store_root, fine_tuner, site, ordinal):
+        scheduler = make_scheduler(artifacts, PlanStore(store_root), fine_tuner)
+        with crash_at(site, ordinal) as state:
+            scheduler.submit(SPEC_TARGET, top_k=SPEC_TOP_K, extrapolate=True)
+            with pytest.raises(SimulatedCrash):
+                scheduler.run_until_idle()
+        assert state.crashed
+        return state
+
+    def resume_and_check_speculative(self, artifacts, store_root, fine_tuner, oracle):
+        replayable = journaled_step_epochs(store_root)
+        scheduler = make_scheduler(artifacts, PlanStore(store_root), fine_tuner)
+        recovered = scheduler.recover()
+        assert len(recovered) == 1, "the speculative request must recover"
+        scheduler.run_until_idle()
+        result = scheduler.result(recovered[0], timeout=10)
+
+        assert_bitwise_equal(result, oracle)
+        # The honesty layer replays bitwise too: identical prune set,
+        # identical per-arm decision records, identical regret bound.
+        assert result.selection.extras == oracle.selection.extras
+
+        stats = scheduler.stats()
+        persist, pool = stats["persist"], stats["session_pool"]
+        # Zero double-charged epochs: everything journaled before the
+        # crash is charged by replay (served from snapshots), and replay
+        # plus fresh training adds up to exactly the charged total.
+        assert persist["epochs_replayed"] == replayable
+        assert pool["epochs_reused"] >= replayable
+        charged = result.selection.runtime_epochs
+        assert pool["epochs_trained"] + pool["epochs_reused"] == charged
+        return stats
+
+    def test_resume_replays_identical_prunes_at_every_boundary(
+        self, spec_artifacts, speculative_oracle, fine_tuner, tmp_path
+    ):
+        # Enumerate the early-stop boundaries with a clean counting run.
+        scheduler = make_scheduler(
+            spec_artifacts, PlanStore(tmp_path / "enumerate"), fine_tuner
+        )
+        with counting("plan.prune") as clean:
+            scheduler.submit(SPEC_TARGET, top_k=SPEC_TOP_K, extrapolate=True)
+            scheduler.run_until_idle()
+        assert clean.hits >= 1, "the ablation request must hit prune boundaries"
+        oracle_prunes = set(
+            speculative_oracle.selection.extras["extrapolation"]["pruned"]
+        )
+        # The crash hook sees each decision's prune set before it applies.
+        announced = set().union(*(set(info["models"]) for info in clean.infos))
+        assert announced == oracle_prunes
+
+        for boundary in range(1, clean.hits + 1):
+            root = tmp_path / f"prune-crash-{boundary}"
+            self.run_and_crash_speculative(
+                spec_artifacts, root, fine_tuner, "plan.prune", boundary
+            )
+            stats = self.resume_and_check_speculative(
+                spec_artifacts, root, fine_tuner, speculative_oracle
+            )
+            if boundary > 1:
+                # Stages feeding the earlier prune decisions were already
+                # journaled, so the resume re-derives those prunes from
+                # replayed (not retrained) epochs.
+                assert stats["persist"]["prunes_replayed"] >= 1
+
+    def test_crash_between_prune_and_next_stage(
+        self, spec_artifacts, speculative_oracle, fine_tuner, tmp_path
+    ):
+        """Kill at the first step *after* a prune was applied and journaled:
+        resume must not prune again (no double-retire, no drift)."""
+        # A clean pass first to learn at which stage the first prune fires.
+        scheduler = make_scheduler(
+            spec_artifacts, PlanStore(tmp_path / "post-prune-clean"), fine_tuner
+        )
+        with counting("plan.prune") as clean:
+            scheduler.submit(SPEC_TARGET, top_k=SPEC_TOP_K, extrapolate=True)
+            scheduler.run_until_idle()
+        first_prune_stage = clean.infos[0]["stage"]
+
+        from repro.persist import clear_hooks, install_hook
+
+        root = tmp_path / "post-prune-crash"
+        scheduler = make_scheduler(spec_artifacts, PlanStore(root), fine_tuner)
+        seen = {"past_prune": 0}
+
+        def kill_after_prune(_site, info):
+            if info["stage"] >= first_prune_stage:
+                seen["past_prune"] += 1
+                if seen["past_prune"] == 2:
+                    raise SimulatedCrash("post-prune step")
+
+        install_hook("plan.step", kill_after_prune)
+        scheduler.submit(SPEC_TARGET, top_k=SPEC_TOP_K, extrapolate=True)
+        with pytest.raises(SimulatedCrash):
+            scheduler.run_until_idle()
+        clear_hooks()
+        self.resume_and_check_speculative(
+            spec_artifacts, root, fine_tuner, speculative_oracle
+        )
 
 
 class TestAnytimeAnswers:
