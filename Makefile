@@ -8,7 +8,8 @@ PY := PYTHONPATH=src python
         bench-similarity bench-ooc bench-smoke bench-concurrent \
         bench-concurrent-smoke bench-resume bench-distrib \
         bench-distrib-smoke bench-cluster bench-cluster-smoke \
-        bench-extrapolation bench-extrapolation-smoke examples
+        bench-extrapolation bench-extrapolation-smoke bench-fused \
+        bench-fused-smoke examples
 
 # Tier-1 verify: the full suite (what CI runs on main).
 test:
@@ -50,7 +51,8 @@ test-all:
 # relaxed throughput gate at small n) and verifies the generated API
 # reference is current.
 ci: test-fast bench-smoke bench-concurrent-smoke bench-distrib-smoke \
-    bench-cluster-smoke bench-extrapolation-smoke docs-api-check
+    bench-cluster-smoke bench-extrapolation-smoke bench-fused-smoke \
+    docs-api-check
 
 ci-full: test-all docs-check
 
@@ -129,6 +131,16 @@ bench-extrapolation:
 
 bench-extrapolation-smoke:
 	$(PY) benchmarks/bench_extrapolation.py --smoke
+
+# Fused multi-session training: the full run gates >= 3x round throughput
+# at S=8 stacked sessions on one CPU with bitwise-identical curves,
+# parameters and optimizer state; the smoke tier runs the same bitwise
+# gates (relaxed throughput floor) at small n on every change.
+bench-fused:
+	$(PY) benchmarks/bench_fused_training.py --json-out benchmarks/bench_fused_training.json
+
+bench-fused-smoke:
+	$(PY) benchmarks/bench_fused_training.py --smoke
 
 examples:
 	$(PY) -m pytest tests/integration/test_examples.py -q

@@ -101,7 +101,9 @@ def run_sequential(
 
 def run_concurrent(
     artifacts: OfflineArtifacts, mix: List[str], *, seed: int
-) -> Tuple[float, List[TwoPhaseResult], List[float], Dict[str, int]]:
+) -> Tuple[
+    float, List[TwoPhaseResult], List[float], Dict[str, int], Dict[str, object]
+]:
     """The scheduled path: all requests in flight at once, shared sessions."""
     from repro.zoo.finetune import FineTuner
 
@@ -120,7 +122,8 @@ def run_concurrent(
     elapsed = time.perf_counter() - started
     results = [scheduler.result(handle) for handle in handles]
     latencies = [handle.latency_seconds() for handle in handles]
-    return elapsed, results, latencies, scheduler.pool.stats()
+    stats = scheduler.stats()
+    return elapsed, results, latencies, scheduler.pool.stats(), stats["train"]
 
 
 def results_identical(a: TwoPhaseResult, b: TwoPhaseResult) -> bool:
@@ -163,7 +166,7 @@ def main(argv=None) -> int:
         artifacts, mix, seed=args.seed
     )
     clear_cache()
-    conc_time, conc_results, conc_latencies, pool = run_concurrent(
+    conc_time, conc_results, conc_latencies, pool, train = run_concurrent(
         artifacts, mix, seed=args.seed
     )
 
@@ -189,6 +192,7 @@ def main(argv=None) -> int:
         "sequential_latency_p95_seconds": percentile(seq_latencies, 0.95),
         "identical_results": identical,
         "session_pool": pool,
+        "train": train,
     }
 
     print(f"  sequential : {seq_time:8.2f}s  "
@@ -201,6 +205,9 @@ def main(argv=None) -> int:
     print(f"  sessions   : {pool['epochs_trained']} epochs trained, "
           f"{pool['epochs_reused']} reused "
           f"({pool['hits']} pool hits / {pool['misses']} misses)")
+    print(f"  fused      : {train['fused_groups']} groups, "
+          f"{train['fused_epochs']} fused / {train['serial_epochs']} serial "
+          f"epochs, {train['delegated_groups']} delegated")
     print(f"  identical results: {identical}")
 
     if args.json_out:

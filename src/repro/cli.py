@@ -112,6 +112,7 @@ def _scheduler_config(args: argparse.Namespace):
         epoch_budget=getattr(args, "epoch_budget", None) or defaults.epoch_budget,
         max_queue=getattr(args, "max_queue", None) or defaults.max_queue,
         timeout_seconds=getattr(args, "timeout", None),
+        fused_training=not getattr(args, "no_fused_training", False),
     )
 
 
@@ -326,6 +327,7 @@ def _cmd_serve(args: argparse.Namespace, stream) -> int:
         "max_concurrent": config.max_concurrent,
         "epoch_budget": config.epoch_budget,
         "max_queue": config.max_queue,
+        "fused_training": config.fused_training,
         "zoo_version": version.key if version is not None else "v0",
         "extrapolation": bool(getattr(args, "extrapolate", False)),
     }
@@ -749,6 +751,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the exact successive-halving path (the default); "
         "results are bitwise-identical to prior releases",
     )
+    select.add_argument(
+        "--no-fused-training",
+        action="store_true",
+        help="disable the stacked-kernel fused training of same-geometry "
+        "sessions (results are bitwise-identical either way; fused is "
+        "faster when rounds train several sessions of one task)",
+    )
     select.add_argument("--json", action="store_true", help="emit JSON")
     select.set_defaults(handler=_cmd_select)
 
@@ -767,6 +776,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--top-k", type=int, default=None, help="models recalled into phase 2"
     )
     _add_budget_arguments(batch)
+    batch.add_argument(
+        "--no-fused-training",
+        action="store_true",
+        help="disable the stacked-kernel fused training of same-geometry "
+        "sessions (results are bitwise-identical either way)",
+    )
     batch.add_argument("--json", action="store_true", help="emit JSON")
     batch.set_defaults(handler=_cmd_batch)
 
@@ -818,6 +833,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable curve-extrapolation early stopping as the serve-time "
         'default; clients opt out per request with {"exact": true}',
+    )
+    serve.add_argument(
+        "--no-fused-training",
+        action="store_true",
+        help="disable the stacked-kernel fused training of same-geometry "
+        "sessions in scheduling rounds (results are bitwise-identical "
+        "either way)",
     )
     serve.add_argument(
         "--port",

@@ -13,10 +13,28 @@ Public API:
 * Losses (:func:`~repro.nn.losses.softmax_cross_entropy`).
 * Optimisers (:class:`~repro.nn.optim.SGD`, :class:`~repro.nn.optim.Adam`).
 * Metrics (:func:`~repro.nn.metrics.accuracy`, macro-F1 ...).
+* Fused multi-session training (:class:`~repro.nn.batched.StackedHeads`,
+  :class:`~repro.nn.batched.FusedSessionGroup`) — stacked-parameter
+  kernels advancing many same-geometry sessions per round, bitwise
+  identical to the serial path.
 """
 
+from repro.nn.batched import (
+    FusedAdvanceReport,
+    FusedSessionGroup,
+    StackedHeads,
+    StackedOptimizer,
+    fused_fit_epoch,
+    heads_compatible,
+    stacked_predictions,
+)
 from repro.nn.layers import Dropout, Linear, Relu, Sequential, Tanh
-from repro.nn.losses import l2_penalty, softmax, softmax_cross_entropy
+from repro.nn.losses import (
+    l2_penalty,
+    softmax,
+    softmax_cross_entropy,
+    softmax_cross_entropy_stats,
+)
 from repro.nn.metrics import accuracy, confusion_matrix, macro_f1
 from repro.nn.network import MLPClassifier, TrainingHistory
 from repro.nn.optim import SGD, Adam, Momentum, Optimizer
@@ -30,6 +48,7 @@ __all__ = [
     "l2_penalty",
     "softmax",
     "softmax_cross_entropy",
+    "softmax_cross_entropy_stats",
     "accuracy",
     "confusion_matrix",
     "macro_f1",
@@ -39,4 +58,11 @@ __all__ = [
     "Adam",
     "Momentum",
     "Optimizer",
+    "FusedAdvanceReport",
+    "FusedSessionGroup",
+    "StackedHeads",
+    "StackedOptimizer",
+    "fused_fit_epoch",
+    "heads_compatible",
+    "stacked_predictions",
 ]

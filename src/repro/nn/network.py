@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nn.layers import Dropout, Linear, Relu, Sequential, Tanh
-from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.losses import softmax, softmax_cross_entropy_stats
 from repro.nn.metrics import accuracy
 from repro.nn.optim import Optimizer, build_optimizer
 from repro.utils.exceptions import ConfigurationError, DataError
@@ -150,9 +150,9 @@ class MLPClassifier:
             idx = order[start : start + batch_size]
             batch_x, batch_y = x[idx], y[idx]
             logits = self.net.forward(batch_x, training=True)
-            loss, grad = softmax_cross_entropy(logits, batch_y)
+            loss, grad, predictions = softmax_cross_entropy_stats(logits, batch_y)
             losses.append(loss)
-            correct += int(np.sum(np.argmax(logits, axis=1) == batch_y))
+            correct += int(np.sum(predictions == batch_y))
             self.net.backward(grad)
             self.optimizer.step(self.net.params(), self.net.grads())
         mean_loss = float(np.mean(losses))

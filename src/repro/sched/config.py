@@ -58,6 +58,17 @@ class SchedulerConfig:
         fails with :class:`~repro.utils.exceptions.RequestTimeoutError`
         at the next round boundary.  ``None`` disables timeouts (a
         ``submit``-time deadline still applies when given).
+    fused_training:
+        Train same-geometry sessions of one round as a single
+        stacked-kernel group (:mod:`repro.nn.batched`) instead of one
+        ``fit_epoch`` loop per session.  Like every knob here it cannot
+        change results — the first fused epoch of each new geometry is
+        verified bitwise against the serial oracle, and any divergence
+        delegates the group back to the per-session path.
+    fused_min_group:
+        Smallest round group worth stacking; rounds with fewer
+        same-geometry sessions than this run the plain per-session path
+        (stacking a singleton only adds copying overhead).
     """
 
     policy: str = "fair_share"
@@ -66,6 +77,8 @@ class SchedulerConfig:
     max_queue: int = 64
     max_epochs_per_request: Optional[int] = None
     timeout_seconds: Optional[float] = None
+    fused_training: bool = True
+    fused_min_group: int = 2
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -85,3 +98,5 @@ class SchedulerConfig:
             )
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ConfigurationError("timeout_seconds must be positive when given")
+        if self.fused_min_group < 2:
+            raise ConfigurationError("fused_min_group must be >= 2")

@@ -43,6 +43,7 @@ from repro.core.extrapolation import ExtrapolationConfig, resolve_extrapolation
 from repro.core.plan import SelectionPlan, TrainStep
 from repro.core.results import RecallResult, TwoPhaseResult
 from repro.data.tasks import ClassificationTask
+from repro.nn.batched import FusedSessionGroup
 from repro.parallel.executor import Executor, ExecutorLike, get_executor
 from repro.persist.codec import (
     decode_recall,
@@ -57,6 +58,7 @@ from repro.sched.config import SchedulerConfig
 from repro.sched.pool import PooledSessionView, SessionPool
 from repro.utils.exceptions import (
     BudgetExhaustedError,
+    ConfigurationError,
     QueueFullError,
     RequestTimeoutError,
     SchedulerError,
@@ -220,6 +222,17 @@ class EpochScheduler:
         self._journal_errors = 0
         self._arms_pruned = 0
         self._prunes_replayed = 0
+        # Fused-training bookkeeping: per-geometry probe verdicts (True =
+        # stacked kernels proven bitwise-equal to the serial oracle, False
+        # = divergence observed, group delegated) plus round counters.
+        self._fused_verdicts: Dict[Tuple, bool] = {}
+        self._fused_groups = 0
+        self._fused_sessions = 0
+        self._fused_epochs = 0
+        self._serial_epochs = 0
+        self._probe_epochs = 0
+        self._delegated_groups = 0
+        self._fused_largest_group = 0
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -905,9 +918,13 @@ class EpochScheduler:
         Steps of different requests can resolve to the same shared session;
         each underlying session is trained **once per round**, to the
         furthest epoch any step needs, and every step then completes
-        against the recorded curve.  Ops fan out over the configured
-        executor; with the process backend the advanced sessions are
-        pickled back and re-adopted, exactly like serial stage training.
+        against the recorded curve.  Ops with the same geometry (fusion
+        signature, epoch position, round target) train as one
+        stacked-kernel group when ``fused_training`` is on (see
+        :mod:`repro.nn.batched`); the rest fan out per session.  Units map
+        over the configured executor; with the process backend the
+        advanced sessions are pickled back and re-adopted, exactly like
+        serial stage training.
         """
         # Group steps by session entry: one training op per shared session.
         ops: Dict[int, Tuple[PooledSessionView, int]] = {}
@@ -920,24 +937,39 @@ class EpochScheduler:
                 ops[entry_id] = (view, target)
 
         op_list = list(ops.values())
+        units = self._partition_ops(op_list)
 
-        def train_op(index: int):
-            # Only the index crosses the process boundary on dispatch, and
-            # only picklable results (epoch count + trained session) cross
-            # back — views hold locks and stay in the parent.
-            view, target = op_list[index]
-            trained = view.entry.ensure_epochs(target)
-            return index, trained, view.entry.session
+        def train_unit(unit_index: int):
+            # Only the unit index crosses the process boundary on dispatch,
+            # and only picklable results (epoch counts + trained sessions +
+            # a counter report) cross back — views hold locks and stay in
+            # the parent.
+            kind, indices = units[unit_index]
+            if kind == "single":
+                index = indices[0]
+                view, target = op_list[index]
+                trained = view.entry.ensure_epochs(target)
+                return [(index, trained, view.entry.session)], None
+            return self._train_fused([(i,) + op_list[i] for i in indices])
 
         trained_total = 0
-        for index, trained, session in self._executor.map(
-            train_op, range(len(op_list))
+        serial_singles = 0
+        for results, fused_report in self._executor.map(
+            train_unit, range(len(units))
         ):
             # With the process backend the parent's entry never trained;
             # adopt the advanced copy.  In-process backends adopt the same
             # object (a no-op reassignment).
-            op_list[index][0].entry.adopt(session)
-            trained_total += trained
+            for index, trained, session in results:
+                op_list[index][0].entry.adopt(session)
+                trained_total += trained
+                if fused_report is None:
+                    serial_singles += trained
+            if fused_report is not None:
+                self._record_fused(fused_report)
+        if serial_singles:
+            with self._lock:
+                self._serial_epochs += serial_singles
 
         charged_total = 0
         for request, step in batch:
@@ -980,6 +1012,139 @@ class EpochScheduler:
         # Dedup makes reuse explicit: epochs charged to requests minus
         # epochs actually trained this round is the pool's saving.
         self._pool.record_round(charged=charged_total, trained=trained_total)
+
+    # ------------------------------------------------------------------ #
+    # fused training
+    # ------------------------------------------------------------------ #
+    def _partition_ops(
+        self, op_list: Sequence[Tuple[PooledSessionView, int]]
+    ) -> List[Tuple[str, List[int]]]:
+        """Split a round's deduplicated ops into fused stacks and singles.
+
+        Ops whose sessions share a fusion signature, current epoch and
+        round target form one ``("fused", indices)`` unit (stacked-kernel
+        training); everything else — singletons, groups below
+        ``fused_min_group``, geometries a probe has condemned, sessions
+        without a fusion surface — stays on the per-session path as
+        ``("single", [index])`` units.
+        """
+        if not self.config.fused_training:
+            return [("single", [index]) for index in range(len(op_list))]
+        groups: Dict[Tuple, List[int]] = {}
+        singles: List[int] = []
+        for index, (view, target) in enumerate(op_list):
+            session = view.entry.session
+            signature = getattr(session, "fusion_signature", None)
+            if signature is None or target <= session.epochs_trained:
+                singles.append(index)
+                continue
+            key = (signature(), session.epochs_trained, target)
+            groups.setdefault(key, []).append(index)
+        with self._lock:
+            verdicts = dict(self._fused_verdicts)
+        units: List[Tuple[str, List[int]]] = []
+        for key, indices in groups.items():
+            if len(indices) >= self.config.fused_min_group and verdicts.get(
+                key[0], True
+            ):
+                units.append(("fused", indices))
+            else:
+                units.extend(("single", [index]) for index in indices)
+        units.extend(("single", [index]) for index in singles)
+        return units
+
+    def _train_fused(
+        self, items: Sequence[Tuple[int, PooledSessionView, int]]
+    ) -> Tuple[List[Tuple[int, int, object]], Dict[str, object]]:
+        """Train one same-geometry unit with the stacked kernels.
+
+        Takes ``(op_index, view, target)`` items, holds every member's
+        entry lock (sorted by pool key, so concurrent fused units cannot
+        deadlock) while the stacked engine advances the sessions, and
+        returns the per-op results plus a picklable counter report — the
+        unit may run in a forked worker, so the parent round loop applies
+        the report to the scheduler counters, never this method.
+
+        Members that no longer align under the locks (another thread
+        advanced their session since partitioning) fall back to
+        ``ensure_epochs`` after the locks are released.
+        """
+        items = sorted(items, key=lambda item: item[1].entry.key)
+        target = items[0][2]
+        report: Dict[str, object] = {
+            "signature": None,
+            "groups": 0,
+            "sessions": 0,
+            "fused_epochs": 0,
+            "serial_epochs": 0,
+            "probe_epochs": 0,
+            "delegated": 0,
+            "verdict": None,
+            "largest": 0,
+        }
+        results: List[Tuple[int, int, object]] = []
+        fallback: List[Tuple[int, PooledSessionView, int]] = []
+        entries = [view.entry for _, view, _ in items]
+        for entry in entries:
+            entry.lock.acquire()
+        try:
+            positions = [entry.session.epochs_trained for entry in entries]
+            start = min(positions)
+            fused_items = [
+                item
+                for item, position in zip(items, positions)
+                if position == start and start < target
+            ]
+            if len(fused_items) < self.config.fused_min_group:
+                fallback = list(items)
+            else:
+                fallback = [item for item in items if item not in fused_items]
+                sessions = [view.entry.session for _, view, _ in fused_items]
+                try:
+                    group = FusedSessionGroup(sessions)
+                    probe = group.signature not in self._fused_verdicts
+                    advance = group.advance(target - start, probe=probe)
+                except ConfigurationError:
+                    # Geometry looked fusable by signature but the stacked
+                    # engine refused it (defensive) — per-session path.
+                    fallback = list(items)
+                else:
+                    for index, view, _ in fused_items:
+                        results.append((index, target - start, view.entry.session))
+                    report.update(
+                        signature=group.signature,
+                        groups=1,
+                        sessions=len(fused_items),
+                        fused_epochs=advance.fused_epochs,
+                        serial_epochs=advance.serial_epochs,
+                        probe_epochs=advance.probe_epochs,
+                        delegated=int(advance.delegated),
+                        verdict=(not advance.delegated) if probe else None,
+                        largest=len(fused_items),
+                    )
+        finally:
+            for entry in reversed(entries):
+                entry.lock.release()
+        for index, view, item_target in fallback:
+            trained = view.entry.ensure_epochs(item_target)
+            results.append((index, trained, view.entry.session))
+            report["serial_epochs"] = int(report["serial_epochs"]) + trained
+        return results, report
+
+    def _record_fused(self, report: Dict[str, object]) -> None:
+        """Fold one fused unit's counter report into the scheduler stats."""
+        with self._lock:
+            if report["signature"] is not None and report["verdict"] is not None:
+                self._fused_verdicts[report["signature"]] = bool(report["verdict"])
+            self._fused_groups += int(report["groups"])
+            self._fused_sessions += int(report["sessions"])
+            self._fused_epochs += int(report["fused_epochs"])
+            self._serial_epochs += int(report["serial_epochs"])
+            self._probe_epochs += int(report["probe_epochs"])
+            self._delegated_groups += int(report["delegated"])
+            self._fused_largest_group = max(
+                self._fused_largest_group, int(report["largest"])
+            )
 
     # ------------------------------------------------------------------ #
     # completion
@@ -1134,6 +1299,20 @@ class EpochScheduler:
                 "rounds": self._rounds,
                 "arms_pruned": self._arms_pruned,
                 "session_pool": self._pool.stats(),
+                "train": {
+                    "fused_training": self.config.fused_training,
+                    "fused_min_group": self.config.fused_min_group,
+                    "fused_groups": self._fused_groups,
+                    "fused_sessions": self._fused_sessions,
+                    "fused_epochs": self._fused_epochs,
+                    "serial_epochs": self._serial_epochs,
+                    "probe_epochs": self._probe_epochs,
+                    "delegated_groups": self._delegated_groups,
+                    "largest_group": self._fused_largest_group,
+                    "verified_geometries": sum(
+                        1 for verdict in self._fused_verdicts.values() if verdict
+                    ),
+                },
             }
             if self._persist is not None:
                 report["persist"] = {

@@ -15,12 +15,14 @@ selection algorithm decides which models survive.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.tasks import ClassificationTask
+from repro.nn.metrics import accuracy
 from repro.nn.network import MLPClassifier
 from repro.utils.exceptions import ConfigurationError, DataError
 from repro.utils.rng import RngFactory
@@ -52,16 +54,13 @@ class FineTuneConfig:
             raise ConfigurationError("batch_size must be positive")
 
     def with_epochs(self, epochs: int) -> "FineTuneConfig":
-        """Copy of this config with a different epoch budget."""
-        return FineTuneConfig(
-            epochs=epochs,
-            learning_rate=self.learning_rate,
-            batch_size=self.batch_size,
-            hidden_dims=self.hidden_dims,
-            weight_decay=self.weight_decay,
-            optimizer=self.optimizer,
-            activation=self.activation,
-        )
+        """Copy of this config with a different epoch budget.
+
+        Uses :func:`dataclasses.replace` so every field — including any
+        added after this method was written — is carried over verbatim
+        (guarded by a field-drift regression test).
+        """
+        return dataclasses.replace(self, epochs=epochs)
 
 
 @dataclass
@@ -145,6 +144,10 @@ class FineTuneSession:
         self._train_features = model.encode(task.train.features)
         self._val_features = model.encode(task.val.features)
         self._test_features = model.encode(task.test.features)
+        #: Lazily built ``[val; test]`` slab for the single-pass epoch
+        #: evaluation; derived data, dropped from pickles (see
+        #: :meth:`__getstate__`) and rebuilt on first use.
+        self._eval_features: Optional[np.ndarray] = None
         self.head = MLPClassifier(
             input_dim=model.hidden_dim,
             num_classes=task.num_classes,
@@ -172,10 +175,28 @@ class FineTuneSession:
                 self.task.train.labels,
                 batch_size=self.config.batch_size,
             )
+            val_accuracy, test_accuracy = self.evaluate()
             self.curve.train_loss.append(loss)
-            self.curve.val_accuracy.append(self.validation_accuracy())
-            self.curve.test_accuracy.append(self.test_accuracy())
+            self.curve.val_accuracy.append(val_accuracy)
+            self.curve.test_accuracy.append(test_accuracy)
         return self.curve
+
+    def evaluate(self) -> Tuple[float, float]:
+        """Validation and test accuracy from one concatenated forward pass.
+
+        Scores both held-out splits with a single ``(n_val + n_test, d)``
+        matmul instead of two separate :meth:`MLPClassifier.score` calls.
+        Each logits row depends only on its own input row, so the
+        accuracies are bitwise-identical to the two-pass form (gated by
+        ``benchmarks/bench_fused_training.py``).
+        """
+        logits = self.head.decision_function(self._eval_slab())
+        predictions = np.argmax(logits, axis=1)
+        n_val = self._val_features.shape[0]
+        return (
+            accuracy(np.asarray(self.task.val.labels), predictions[:n_val]),
+            accuracy(np.asarray(self.task.test.labels), predictions[n_val:]),
+        )
 
     def validation_accuracy(self) -> float:
         """Current accuracy on the validation split."""
@@ -184,6 +205,91 @@ class FineTuneSession:
     def test_accuracy(self) -> float:
         """Current accuracy on the test split."""
         return self.head.score(self._test_features, self.task.test.labels)
+
+    # ------------------------------------------------------------------ #
+    # fused-training adoption surface (see repro.nn.batched)
+    # ------------------------------------------------------------------ #
+    @property
+    def train_features(self) -> np.ndarray:
+        """Encoded training features ``(n, d)`` (shared, do not mutate)."""
+        return self._train_features
+
+    @property
+    def train_labels(self) -> np.ndarray:
+        """Training labels aligned with :attr:`train_features`."""
+        return self.task.train.labels
+
+    @property
+    def eval_split(self) -> int:
+        """Row where the test split starts inside :meth:`_eval_slab`."""
+        return self._val_features.shape[0]
+
+    def _eval_slab(self) -> np.ndarray:
+        if self._eval_features is None:
+            self._eval_features = np.concatenate(
+                [self._val_features, self._test_features], axis=0
+            )
+        return self._eval_features
+
+    def eval_features(self) -> np.ndarray:
+        """Concatenated ``[val; test]`` feature slab ``(n_val + n_test, d)``."""
+        return self._eval_slab()
+
+    def fusion_signature(self) -> Tuple:
+        """Geometry key deciding which sessions can train in one fused group.
+
+        Two sessions with equal signatures share every shape and
+        hyper-parameter the stacked kernels broadcast over — task data
+        (and hence labels and split sizes), encoder width, head
+        architecture, optimiser and learning rate, batch size and weight
+        decay — so their mini-batch trajectories can advance in lockstep
+        as slices of one ``(S, n, d)`` slab.
+        """
+        from repro.cache import fingerprint_task
+
+        return (
+            fingerprint_task(self.task),
+            int(self.model.hidden_dim),
+            int(self.task.num_classes),
+            tuple(int(w) for w in self.config.hidden_dims),
+            self.config.activation,
+            self.config.optimizer,
+            float(self.config.learning_rate),
+            int(self.config.batch_size),
+            float(self.config.weight_decay),
+        )
+
+    def record_epoch(
+        self,
+        train_loss: float,
+        train_accuracy: float,
+        val_accuracy: float,
+        test_accuracy: float,
+    ) -> None:
+        """Adopt one externally trained epoch's records (fused training).
+
+        Appends exactly what a serial :meth:`train_epochs` iteration
+        appends — the head's history entries plus the session curve — so a
+        session whose parameters were advanced by the stacked kernels of
+        :mod:`repro.nn.batched` is indistinguishable from one trained
+        serially.
+        """
+        self.head.history.train_loss.append(train_loss)
+        self.head.history.train_accuracy.append(train_accuracy)
+        self.curve.train_loss.append(train_loss)
+        self.curve.val_accuracy.append(val_accuracy)
+        self.curve.test_accuracy.append(test_accuracy)
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the derived eval slab from pickles (snapshots, workers)."""
+        state = dict(self.__dict__)
+        state["_eval_features"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore a pickled session (older snapshots lack the slab slot)."""
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_eval_features", None)
 
 
 class FineTuner:

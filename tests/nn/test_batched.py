@@ -1,0 +1,276 @@
+"""Tests for repro.nn.batched: stacked kernels vs the serial oracle."""
+
+import numpy as np
+import pytest
+
+from repro.nn.batched import (
+    FusedSessionGroup,
+    StackedHeads,
+    StackedOptimizer,
+    fused_fit_epoch,
+    heads_compatible,
+    stacked_predictions,
+)
+from repro.nn.network import MLPClassifier
+from repro.utils.exceptions import ConfigurationError
+from repro.zoo.finetune import FineTuneConfig, FineTuner
+
+
+def make_heads(count, *, optimizer="adam", hidden_dims=(), activation="relu",
+               input_dim=12, num_classes=3, l2=1e-4, seed=0):
+    return [
+        MLPClassifier(
+            input_dim=input_dim,
+            num_classes=num_classes,
+            hidden_dims=hidden_dims,
+            activation=activation,
+            l2=l2,
+            optimizer=optimizer,
+            learning_rate=5e-2,
+            rng=np.random.default_rng(seed + index),
+        )
+        for index in range(count)
+    ]
+
+
+def make_clones(count, **kwargs):
+    """Two structurally identical head groups (same RNG streams)."""
+    return make_heads(count, **kwargs), make_heads(count, **kwargs)
+
+
+def train_serial(heads, x, y, epochs, batch_size):
+    for head in heads:
+        for _ in range(epochs):
+            head.fit_epoch(x, y, batch_size=batch_size)
+
+
+def train_fused(heads, x, y, epochs, batch_size):
+    stacked = StackedHeads(heads)
+    slab = np.stack([x] * len(heads))
+    losses, accuracies = [], []
+    for _ in range(epochs):
+        perms = np.stack([head._rng.permutation(x.shape[0]) for head in heads])
+        epoch_losses, epoch_accs = fused_fit_epoch(
+            stacked, slab, y, perms, batch_size=batch_size
+        )
+        losses.append(epoch_losses)
+        accuracies.append(epoch_accs)
+    stacked.writeback()
+    return losses, accuracies
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(50, 12))
+    y = rng.integers(0, 3, size=50)
+    return x, y
+
+
+class TestHeadsCompatible:
+    def test_same_geometry_is_compatible(self):
+        assert heads_compatible(make_heads(3))
+
+    def test_empty_group_is_not(self):
+        assert not heads_compatible([])
+
+    def test_mixed_optimizers_are_not(self):
+        a = make_heads(1, optimizer="adam")[0]
+        b = make_heads(1, optimizer="sgd")[0]
+        assert not heads_compatible([a, b])
+
+    def test_mixed_shapes_are_not(self):
+        a = make_heads(1, hidden_dims=())[0]
+        b = make_heads(1, hidden_dims=(8,))[0]
+        assert not heads_compatible([a, b])
+
+    def test_dropout_heads_are_not(self):
+        head = MLPClassifier(
+            input_dim=12, num_classes=3, hidden_dims=(8,), dropout=0.5,
+            rng=np.random.default_rng(0),
+        )
+        assert not heads_compatible([head, head])
+
+    def test_mixed_adam_clock_is_not(self):
+        a, b = make_heads(2)
+        a.fit(np.zeros((4, 12)), np.array([0, 1, 2, 0]), epochs=1, batch_size=4)
+        assert not heads_compatible([a, b])
+
+    def test_stacked_heads_rejects_incompatible(self):
+        a = make_heads(1, optimizer="adam")[0]
+        b = make_heads(1, optimizer="sgd")[0]
+        with pytest.raises(ConfigurationError):
+            StackedHeads([a, b])
+        with pytest.raises(ConfigurationError):
+            StackedHeads([])
+
+
+class TestStackedKernelsBitwise:
+    @pytest.mark.parametrize("optimizer", ["sgd", "momentum", "adam"])
+    @pytest.mark.parametrize("hidden_dims,activation", [
+        ((), "relu"),
+        ((8,), "relu"),
+        ((10, 6), "tanh"),
+    ])
+    def test_training_matches_serial(self, problem, optimizer, hidden_dims, activation):
+        x, y = problem
+        serial, fused = make_clones(
+            4, optimizer=optimizer, hidden_dims=hidden_dims, activation=activation
+        )
+        train_serial(serial, x, y, epochs=3, batch_size=16)
+        losses, accuracies = train_fused(fused, x, y, epochs=3, batch_size=16)
+        for s, (a, b) in enumerate(zip(serial, fused)):
+            assert a.history.train_loss == [losses[e][s] for e in range(3)]
+            assert a.history.train_accuracy == [accuracies[e][s] for e in range(3)]
+            for pa, pb in zip(a.net.params(), b.net.params()):
+                assert np.array_equal(pa, pb)
+
+    def test_partial_final_batch(self, problem):
+        x, y = problem  # 50 rows, batch 16 -> final batch of 2
+        serial, fused = make_clones(3)
+        train_serial(serial, x, y, epochs=2, batch_size=16)
+        train_fused(fused, x, y, epochs=2, batch_size=16)
+        for a, b in zip(serial, fused):
+            for pa, pb in zip(a.net.params(), b.net.params()):
+                assert np.array_equal(pa, pb)
+
+    def test_writeback_preserves_layer_array_identity(self, problem):
+        x, y = problem
+        heads = make_heads(2)
+        before = [id(p) for head in heads for p in head.net.params()]
+        train_fused(heads, x, y, epochs=1, batch_size=16)
+        after = [id(p) for head in heads for p in head.net.params()]
+        assert before == after
+
+    def test_continuation_after_writeback_matches_serial(self, problem):
+        """Serial epochs after fused epochs equal an all-serial run."""
+        x, y = problem
+        serial, fused = make_clones(3, optimizer="momentum")
+        train_serial(serial, x, y, epochs=3, batch_size=16)
+        train_fused(fused, x, y, epochs=2, batch_size=16)
+        for head in fused:
+            head.fit_epoch(x, y, batch_size=16)
+        for a, b in zip(serial, fused):
+            for pa, pb in zip(a.net.params(), b.net.params()):
+                assert np.array_equal(pa, pb)
+
+    def test_stacked_predictions_match_per_head_predict(self, problem):
+        x, y = problem
+        heads = make_heads(3, hidden_dims=(8,))
+        train_serial(heads, x, y, epochs=1, batch_size=16)
+        stacked = StackedHeads(heads)
+        batch = np.stack([x] * 3)
+        fused = stacked_predictions(stacked, batch)
+        for s, head in enumerate(heads):
+            assert np.array_equal(fused[s], head.predict(x))
+
+
+class TestStackedOptimizer:
+    def test_adopts_existing_moments(self, problem):
+        x, y = problem
+        serial, fused = make_clones(2, optimizer="adam")
+        train_serial(serial, x, y, epochs=1, batch_size=16)
+        train_serial(fused, x, y, epochs=1, batch_size=16)
+        stacked = StackedOptimizer(fused)
+        assert stacked._t == fused[0].optimizer._t
+        for s, head in enumerate(fused):
+            for mine, theirs in zip(stacked._m, head.optimizer._m):
+                assert np.array_equal(mine[s], theirs)
+
+    def test_rejects_mixed_groups(self):
+        a = make_heads(1, optimizer="adam")[0]
+        b = make_heads(1, optimizer="momentum")[0]
+        with pytest.raises(ConfigurationError):
+            StackedOptimizer([a, b])
+        with pytest.raises(ConfigurationError):
+            StackedOptimizer([])
+
+    def test_rejects_misaligned_step(self):
+        stacked = StackedOptimizer(make_heads(2, optimizer="sgd"))
+        with pytest.raises(ConfigurationError):
+            stacked.step([np.zeros(2)], [])
+
+
+def make_sessions(count, *, optimizer="adam", seed=0):
+    from repro.data.workloads import DataScale, WorkloadSuite
+    from repro.zoo.hub import ModelHub
+
+    suite = WorkloadSuite(
+        "nlp", seed=0, scale=DataScale.small(),
+        benchmark_names=["sst2", "cola"], target_names=["mnli"],
+    )
+    hub = ModelHub(suite, seed=0)
+    tuner = FineTuner(FineTuneConfig(epochs=5, optimizer=optimizer), seed=seed)
+    task = suite.task("sst2")
+    return [tuner.start_session(hub.get(name), task)
+            for name in hub.model_names[:count]]
+
+
+class TestFusedSessionGroup:
+    def test_probe_verifies_and_matches_serial(self):
+        serial = make_sessions(4)
+        fused = make_sessions(4)
+        for session in serial:
+            session.train_epochs(3)
+        report = FusedSessionGroup(fused).advance(3, probe=True)
+        assert report.verified and not report.delegated
+        assert report.fused_epochs + report.serial_epochs == 4 * 3
+        assert report.probe_epochs == 4
+        for a, b in zip(serial, fused):
+            assert a.curve.train_loss == b.curve.train_loss
+            assert a.curve.val_accuracy == b.curve.val_accuracy
+            assert a.curve.test_accuracy == b.curve.test_accuracy
+            assert a.head.history.train_accuracy == b.head.history.train_accuracy
+
+    def test_unprobed_advance_matches_serial(self):
+        serial = make_sessions(3)
+        fused = make_sessions(3)
+        for session in serial:
+            session.train_epochs(2)
+        report = FusedSessionGroup(fused).advance(2, probe=False)
+        assert report.fused_epochs == 3 * 2
+        for a, b in zip(serial, fused):
+            assert a.curve.train_loss == b.curve.train_loss
+            assert a.curve.val_accuracy == b.curve.val_accuracy
+
+    def test_injected_divergence_delegates_to_serial(self, monkeypatch):
+        """A lying kernel must lose to the oracle, not corrupt results."""
+        import repro.nn.batched as batched
+
+        serial = make_sessions(3)
+        fused = make_sessions(3)
+        for session in serial:
+            session.train_epochs(3)
+
+        real = batched.fused_fit_epoch
+
+        def lying_fit_epoch(stacked, x, y, perms, *, batch_size):
+            losses, accuracies = real(stacked, x, y, perms, batch_size=batch_size)
+            return [loss + 1e-9 for loss in losses], accuracies
+
+        monkeypatch.setattr(batched, "fused_fit_epoch", lying_fit_epoch)
+        report = FusedSessionGroup(fused).advance(3, probe=True)
+        assert report.delegated and not report.verified
+        assert report.mismatches
+        assert report.fused_epochs == 0
+        assert report.serial_epochs == 3 * 3
+        # Delegation kept the serial trajectory: results still exact.
+        for a, b in zip(serial, fused):
+            assert a.curve.train_loss == b.curve.train_loss
+            assert a.curve.val_accuracy == b.curve.val_accuracy
+
+    def test_group_rejects_mixed_positions(self):
+        sessions = make_sessions(2)
+        sessions[0].train_epochs(1)
+        with pytest.raises(ConfigurationError):
+            FusedSessionGroup(sessions)
+
+    def test_group_rejects_mixed_signatures(self):
+        a = make_sessions(1, optimizer="adam")
+        b = make_sessions(1, optimizer="sgd")
+        with pytest.raises(ConfigurationError):
+            FusedSessionGroup(a + b)
+
+    def test_advance_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            FusedSessionGroup(make_sessions(2)).advance(0)

@@ -43,6 +43,32 @@ class TestMomentum:
         with pytest.raises(ConfigurationError):
             Momentum(0.1, momentum=1.0)
 
+    def test_velocity_recursion_matches_closed_form(self):
+        """v_t = mu * v_{t-1} - lr * g_t, applied in place, from v_0 = 0."""
+        rng = np.random.default_rng(7)
+        optimizer = Momentum(0.05, momentum=0.9)
+        param = rng.normal(size=(4, 3))
+        expected_param = param.copy()
+        expected_velocity = np.zeros_like(param)
+        for _ in range(5):
+            grad = rng.normal(size=(4, 3))
+            optimizer.step([param], [grad.copy()])
+            expected_velocity = expected_velocity * 0.9 - 0.05 * grad
+            expected_param = expected_param + expected_velocity
+            assert np.array_equal(optimizer._velocity[0], expected_velocity)
+            assert np.array_equal(param, expected_param)
+
+    def test_lazy_velocity_init(self):
+        optimizer = Momentum(0.1, momentum=0.5)
+        assert optimizer._velocity is None
+        param = np.ones(3)
+        optimizer.step([param], [np.ones(3)])
+        assert optimizer._velocity[0].shape == (3,)
+
+    def test_rejects_misaligned_lists(self):
+        with pytest.raises(ConfigurationError):
+            Momentum(0.1).step([np.zeros(2)], [np.zeros(2), np.zeros(2)])
+
     def test_momentum_accelerates_early_progress(self):
         def run(optimizer, steps=10):
             x = np.array([10.0])
@@ -70,6 +96,45 @@ class TestAdam:
         optimizer.step(params, grads)
         assert optimizer._m[0].shape == (3, 2)
         assert optimizer._v[1].shape == (5,)
+
+    def test_two_steps_match_closed_form_oracle(self):
+        """Kingma & Ba update, hand-unrolled for t = 1, 2 from zero state."""
+        lr, b1, b2, eps = 0.01, 0.9, 0.999, 1e-8
+        rng = np.random.default_rng(11)
+        optimizer = Adam(lr, beta1=b1, beta2=b2, epsilon=eps)
+        param = rng.normal(size=(2, 3))
+        g1 = rng.normal(size=(2, 3))
+        g2 = rng.normal(size=(2, 3))
+
+        expected = param.copy()
+        m = np.zeros_like(param)
+        v = np.zeros_like(param)
+        for t, g in ((1, g1), (2, g2)):
+            m = m * b1 + (1.0 - b1) * g
+            v = v * b2 + (1.0 - b2) * g * g
+            m_hat = m / (1.0 - b1**t)
+            v_hat = v / (1.0 - b2**t)
+            expected = expected - lr * m_hat / (np.sqrt(v_hat) + eps)
+
+        optimizer.step([param], [g1.copy()])
+        optimizer.step([param], [g2.copy()])
+        assert optimizer._t == 2
+        assert np.array_equal(param, expected)
+        assert np.array_equal(optimizer._m[0], m)
+        assert np.array_equal(optimizer._v[0], v)
+
+    def test_bias_correction_first_step_recovers_gradient_direction(self):
+        # With m_hat = g and v_hat = g*g at t=1, the first update is
+        # -lr * g / (|g| + eps): unit-magnitude steps along -sign(g).
+        optimizer = Adam(0.5)
+        param = np.zeros(3)
+        grad = np.array([4.0, -0.25, 1e6])
+        optimizer.step([param], [grad.copy()])
+        assert np.allclose(param, [-0.5, 0.5, -0.5], atol=1e-6)
+
+    def test_rejects_misaligned_lists(self):
+        with pytest.raises(ConfigurationError):
+            Adam(0.1).step([], [np.zeros(2)])
 
 
 class TestBuildOptimizer:

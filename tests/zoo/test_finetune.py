@@ -15,6 +15,36 @@ class TestFineTuneConfig:
     def test_with_epochs(self):
         assert FineTuneConfig().with_epochs(2).epochs == 2
 
+    def test_with_epochs_preserves_every_field(self):
+        """Field-drift regression: with_epochs must carry over EVERY field.
+
+        Builds a config where every field differs from its default, so a
+        field added to FineTuneConfig but forgotten by a hand-rolled copy
+        would silently reset — dataclasses.replace cannot, and this test
+        proves it for all present and future fields.
+        """
+        import dataclasses
+
+        custom = FineTuneConfig(
+            epochs=7,
+            learning_rate=3e-3,
+            batch_size=16,
+            hidden_dims=(48, 24),
+            weight_decay=5e-5,
+            optimizer="momentum",
+            activation="tanh",
+        )
+        for f in dataclasses.fields(FineTuneConfig):
+            assert getattr(custom, f.name) != f.default, (
+                f"test setup stale: field {f.name!r} must differ from its "
+                "default to detect drift"
+            )
+        copy = custom.with_epochs(9)
+        assert copy.epochs == 9
+        for f in dataclasses.fields(FineTuneConfig):
+            if f.name != "epochs":
+                assert getattr(copy, f.name) == getattr(custom, f.name)
+
     @pytest.mark.parametrize("kwargs", [
         {"epochs": 0},
         {"learning_rate": 0.0},
@@ -69,6 +99,33 @@ class TestFineTuneSession:
         assert session.epochs_trained == 3
         assert len(session.curve.val_accuracy) == 3
         assert len(session.curve.test_accuracy) == 3
+
+    def test_single_pass_evaluate_matches_two_pass(
+        self, nlp_hub_small, nlp_suite_small, fine_tuner
+    ):
+        """The concatenated [val; test] forward equals two separate scores."""
+        session = fine_tuner.start_session(
+            nlp_hub_small.get("roberta-base"), nlp_suite_small.task("cola")
+        )
+        session.train_epochs(2)
+        val_accuracy, test_accuracy = session.evaluate()
+        assert val_accuracy == session.validation_accuracy()
+        assert test_accuracy == session.test_accuracy()
+
+    def test_pickle_roundtrip_drops_and_rebuilds_eval_slab(
+        self, nlp_hub_small, nlp_suite_small, fine_tuner
+    ):
+        import pickle
+
+        session = fine_tuner.start_session(
+            nlp_hub_small.get("roberta-base"), nlp_suite_small.task("cola")
+        )
+        session.train_epochs(1)
+        before = session.evaluate()
+        assert session._eval_features is not None
+        clone = pickle.loads(pickle.dumps(session))
+        assert clone._eval_features is None
+        assert clone.evaluate() == before
 
     def test_train_epochs_rejects_non_positive(
         self, nlp_hub_small, nlp_suite_small, fine_tuner
